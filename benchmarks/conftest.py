@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper table/figure has one benchmark module (see DESIGN.md's
+per-experiment index).  Figure benchmarks run the quick preset by default;
+set ``REPRO_PRESET=mid`` or ``REPRO_PRESET=paper`` to rerun them at the
+paper's 256-node scale (slow — minutes per figure).  The headline numbers
+are printed so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+reproduction report.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def preset_name() -> str:
+    return os.environ.get("REPRO_PRESET", "quick")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,36 @@
+"""Experiment sec34-adaptiveness: degree-of-adaptiveness metrics.
+
+Section 3.4: averaged across all source-destination pairs, S_p/S_f > 1/2
+for the three partially adaptive 2D algorithms, while S_p = 1 for at
+least half of the pairs.  Section 4.1: in n dimensions the average
+exceeds 1/2^(n-1).
+"""
+
+from repro.core.adaptiveness import average_adaptiveness_ratio
+from repro.experiments.tables import adaptiveness_table
+from repro.routing import make_routing
+from repro.topology import Mesh, Mesh2D
+
+
+def test_bench_adaptiveness_table(benchmark):
+    table = benchmark(adaptiveness_table, 6)
+    print("\n" + table)
+    lines = {row.split()[0]: row for row in table.splitlines()[2:]}
+    for name in ("west-first", "north-last", "negative-first"):
+        ratio = float(lines[name].split()[1])
+        assert ratio > 0.5, (name, ratio)
+        fraction_single = float(lines[name].split()[-1])
+        assert fraction_single >= 0.5, (name, fraction_single)
+
+
+def test_bench_adaptiveness_3d(benchmark):
+    mesh = Mesh((3, 3, 3))
+
+    def ratio():
+        return average_adaptiveness_ratio(
+            mesh, make_routing("negative-first", mesh)
+        )
+
+    value = benchmark(ratio)
+    print(f"\n3D negative-first average S_p/S_f = {value:.3f} (> 1/4 required)")
+    assert value > 1 / 4

@@ -1,0 +1,40 @@
+"""Ablation: input buffer depth.
+
+The paper's routers buffer a single flit per input channel — one of
+wormhole routing's selling points.  This ablation measures what deeper
+buffers (2 and 4 flits) buy on uniform traffic near saturation: modestly
+higher throughput, at the cost the paper's routers avoid.
+"""
+
+from benchmarks.conftest import run_once
+from repro.sim import SimulationConfig, simulate
+from repro.topology import Mesh2D
+
+
+def test_bench_buffer_depth_ablation(benchmark):
+    mesh = Mesh2D(8, 8)
+
+    def run():
+        results = {}
+        for depth in (1, 2, 4):
+            config = SimulationConfig(
+                warmup_cycles=1000,
+                measure_cycles=5000,
+                drain_cycles=0,
+                buffer_depth=depth,
+            )
+            results[depth] = simulate(
+                mesh, "xy", "uniform", offered_load=0.45, config=config
+            )
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    for depth, result in results.items():
+        print(f"buffer-depth={depth}  {result.summary()}")
+    throughputs = {d: r.throughput_flits_per_usec for d, r in results.items()}
+    # Deeper buffers never hurt saturation throughput.
+    assert throughputs[4] >= 0.95 * throughputs[1]
+    benchmark.extra_info["throughputs"] = {
+        str(k): round(v, 1) for k, v in throughputs.items()
+    }

@@ -1,0 +1,51 @@
+"""Analysis: static channel loads explain Figures 13 and 14.
+
+The equal-split flow analysis computes each algorithm's hottest channel
+under a pattern; its reciprocal is an ideal saturation bound.  The
+ordering of the bounds reproduces the simulator's (and the paper's)
+verdicts without running a single cycle: xy's bound is the highest on
+uniform traffic and 2.4x below negative-first's on matrix transpose.
+"""
+
+from repro.analysis.channel_load import load_report
+from repro.routing import make_routing
+from repro.topology import Mesh2D
+from repro.traffic import UniformTraffic
+from repro.traffic.permutations import make_pattern
+
+
+def test_bench_static_loads(benchmark):
+    mesh = Mesh2D(8, 8)
+
+    def run():
+        reports = {}
+        for pattern_name in ("uniform", "transpose"):
+            pattern = (
+                UniformTraffic(mesh)
+                if pattern_name == "uniform"
+                else make_pattern(pattern_name, mesh)
+            )
+            for algorithm in ("xy", "west-first", "north-last",
+                              "negative-first"):
+                reports[(pattern_name, algorithm)] = load_report(
+                    mesh, make_routing(algorithm, mesh), pattern
+                )
+        return reports
+
+    reports = benchmark(run)
+    print()
+    for (pattern, algorithm), report in reports.items():
+        print(f"{pattern:10s} {algorithm:16s} {report}")
+    # Figure 13's verdict, statically: xy has the least-loaded hot channel
+    # on uniform traffic.
+    uniform_max = {
+        alg: reports[("uniform", alg)].max_load
+        for alg in ("xy", "west-first", "north-last", "negative-first")
+    }
+    assert uniform_max["xy"] == min(uniform_max.values())
+    # Figure 14's verdict, statically: negative-first's transpose bound
+    # beats xy's by ~2x.
+    assert (
+        reports[("transpose", "xy")].max_load
+        > 2.0 * reports[("transpose", "negative-first")].max_load
+    )

@@ -1,0 +1,39 @@
+"""Experiment fig1-deadlock: the Figure 1 and Figure 4 deadlocks.
+
+Regenerates both dynamic deadlock demonstrations and confirms a valid
+turn-model algorithm survives the identical workloads.
+"""
+
+from benchmarks.conftest import run_once
+from repro.routing import make_routing
+from repro.sim.deadlock import run_deadlock_demo, run_figure4_demo
+from repro.topology import Mesh2D
+
+
+def test_bench_figure1_deadlock(benchmark):
+    result = run_once(benchmark, run_deadlock_demo)
+    print(
+        f"\nunrestricted adaptive: deadlocked={result.deadlocked} "
+        f"after {result.total_delivered} deliveries"
+    )
+    assert result.deadlocked
+
+
+def test_bench_figure4_deadlock(benchmark):
+    result = run_once(benchmark, run_figure4_demo)
+    print(f"\nfigure-4 faulty pair: deadlocked={result.deadlocked}")
+    assert result.deadlocked
+
+
+def test_bench_safe_algorithm_control(benchmark):
+    def run():
+        routing = make_routing("west-first", Mesh2D(4, 4))
+        return run_deadlock_demo(routing=routing)
+
+    result = run_once(benchmark, run)
+    print(
+        f"\nwest-first control: deadlocked={result.deadlocked}, "
+        f"delivered={result.total_delivered}"
+    )
+    assert not result.deadlocked
+    assert result.total_delivered > 1000

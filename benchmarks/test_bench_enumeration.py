@@ -1,0 +1,15 @@
+"""Experiment sec3-enumeration: the Section 3 prohibition census.
+
+Of the 16 ways to prohibit one turn from each abstract cycle of a 2D
+mesh, 12 prevent deadlock and 3 are unique up to symmetry.
+"""
+
+from repro.experiments.tables import enumeration_table
+
+
+def test_bench_enumeration(benchmark):
+    candidates, free, unique, rendered = benchmark(enumeration_table)
+    print("\n" + rendered)
+    assert candidates == 16
+    assert free == 12
+    assert unique == 3

@@ -1,0 +1,36 @@
+"""Ablation: fault tolerance of minimal vs nonminimal routing.
+
+Section 1 motivates nonminimal routing with fault tolerance.  This
+benchmark fails increasing numbers of channels in a mesh and measures the
+fraction of source-destination pairs each mode of west-first routing can
+still deliver: nonminimal routing always retains at least as many pairs.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.fault_tolerance import fault_tolerance_sweep
+from repro.core.restrictions import west_first_restriction
+from repro.topology import Mesh2D
+
+
+def test_bench_fault_tolerance(benchmark):
+    mesh = Mesh2D(6, 6)
+
+    def run():
+        return fault_tolerance_sweep(
+            mesh, west_first_restriction(), [0, 2, 4, 8, 12], seed=1
+        )
+
+    points = run_once(benchmark, run)
+    print(f"\n{'failed':>8s} {'minimal':>9s} {'nonminimal':>11s}")
+    for point in points:
+        print(
+            f"{point.failed_channels:8d} {point.minimal_fraction:9.3f} "
+            f"{point.nonminimal_fraction:11.3f}"
+        )
+        assert point.nonminimal_fraction >= point.minimal_fraction
+    assert points[0].minimal_fraction == 1.0
+    benchmark.extra_info["points"] = [
+        (p.failed_channels, round(p.minimal_fraction, 3),
+         round(p.nonminimal_fraction, 3))
+        for p in points
+    ]

@@ -1,0 +1,27 @@
+"""Experiment fig13: uniform traffic in the 2D mesh (Figure 13).
+
+Expected shape: at low load all algorithms perform alike; near saturation
+the nonadaptive xy algorithm holds the edge, because dimension-order
+routing happens to preserve uniform traffic's global evenness while
+adaptive choices are local and short-term (Section 6's analysis).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure13
+
+
+def test_bench_figure13(benchmark, preset_name):
+    result = run_once(benchmark, figure13, preset=preset_name)
+    print("\n" + result.render())
+    by_name = result.series_by_name()
+    # Low-load latencies agree within noise across algorithms.
+    first_load = result.series[0].points[0].offered_load
+    latencies = [s.latency_at(first_load) for s in result.series]
+    assert max(latencies) < 1.4 * min(latencies)
+    # xy is not beaten meaningfully on uniform traffic.
+    xy = by_name["xy"].saturation_throughput
+    for series in result.series:
+        assert series.saturation_throughput <= 1.25 * xy, series.algorithm
+    benchmark.extra_info["saturation"] = {
+        s.algorithm: round(s.saturation_throughput, 1) for s in result.series
+    }

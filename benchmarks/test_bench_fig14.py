@@ -1,0 +1,27 @@
+"""Experiment fig14: matrix-transpose traffic in the 2D mesh (Figure 14).
+
+Expected shape: the partially adaptive algorithms have lower latencies at
+high throughput and sustain roughly twice xy's throughput; negative-first
+(fully adaptive on every transpose pair) is the best in the mesh.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure14
+
+
+def test_bench_figure14(benchmark, preset_name):
+    result = run_once(benchmark, figure14, preset=preset_name)
+    print("\n" + result.render())
+    by_name = result.series_by_name()
+    xy = by_name["xy"].saturation_throughput
+    nf = by_name["negative-first"].saturation_throughput
+    assert nf > 1.4 * xy, (nf, xy)
+    assert result.adaptive_advantage > 1.4
+    # Negative-first is the top algorithm on transpose (Section 6).
+    assert nf == max(s.saturation_throughput for s in result.series)
+    benchmark.extra_info["saturation"] = {
+        s.algorithm: round(s.saturation_throughput, 1) for s in result.series
+    }
+    benchmark.extra_info["adaptive_advantage"] = round(
+        result.adaptive_advantage, 2
+    )

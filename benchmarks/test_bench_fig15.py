@@ -1,0 +1,23 @@
+"""Experiment fig15: matrix-transpose traffic in the hypercube (Figure 15).
+
+Expected shape: the partially adaptive algorithms (ABONF, ABOPL, p-cube)
+sustain roughly twice e-cube's throughput on the embedded transpose.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure15
+
+
+def test_bench_figure15(benchmark, preset_name):
+    result = run_once(benchmark, figure15, preset=preset_name)
+    print("\n" + result.render())
+    by_name = result.series_by_name()
+    ecube = by_name["e-cube"].saturation_throughput
+    for name in ("abonf", "abopl", "p-cube"):
+        assert by_name[name].saturation_throughput > 1.4 * ecube, name
+    benchmark.extra_info["saturation"] = {
+        s.algorithm: round(s.saturation_throughput, 1) for s in result.series
+    }
+    benchmark.extra_info["adaptive_advantage"] = round(
+        result.adaptive_advantage, 2
+    )

@@ -1,0 +1,25 @@
+"""Experiment fig16: reverse-flip traffic in the hypercube (Figure 16).
+
+Expected shape: the partially adaptive algorithms sustain roughly four
+times e-cube's throughput at the paper's 8-cube scale (the quick preset's
+6-cube shows a smaller but still decisive factor), and these are the
+highest sustainable throughputs in the hypercube overall.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure16
+
+
+def test_bench_figure16(benchmark, preset_name):
+    result = run_once(benchmark, figure16, preset=preset_name)
+    print("\n" + result.render())
+    by_name = result.series_by_name()
+    ecube = by_name["e-cube"].saturation_throughput
+    for name in ("abonf", "abopl", "p-cube"):
+        assert by_name[name].saturation_throughput > 1.5 * ecube, name
+    benchmark.extra_info["saturation"] = {
+        s.algorithm: round(s.saturation_throughput, 1) for s in result.series
+    }
+    benchmark.extra_info["adaptive_advantage"] = round(
+        result.adaptive_advantage, 2
+    )

@@ -1,0 +1,48 @@
+"""Ablation: node delay of adaptive route selection (Section 7).
+
+"Adaptive routing can require more complex control logic for route
+selection ... and this may increase node delay."  This ablation charges
+the adaptive algorithm extra routing cycles per hop and asks when the
+nonadaptive baseline catches back up: on transpose traffic the adaptive
+advantage survives a realistic 2x node delay.
+"""
+
+from benchmarks.conftest import run_once
+from repro.sim import SimulationConfig, simulate
+from repro.topology import Mesh2D
+
+
+def test_bench_node_delay_ablation(benchmark):
+    mesh = Mesh2D(8, 8)
+
+    def run():
+        results = {}
+        xy_config = SimulationConfig(
+            warmup_cycles=1000, measure_cycles=5000, drain_cycles=0,
+            routing_delay_cycles=1,
+        )
+        results["xy/delay1"] = simulate(
+            mesh, "xy", "transpose", 0.5, config=xy_config
+        )
+        for delay in (1, 2, 4):
+            config = SimulationConfig(
+                warmup_cycles=1000, measure_cycles=5000, drain_cycles=0,
+                routing_delay_cycles=delay,
+            )
+            results[f"negative-first/delay{delay}"] = simulate(
+                mesh, "negative-first", "transpose", 0.5, config=config
+            )
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    for name, result in results.items():
+        print(f"{name:26s} {result.summary()}")
+    xy = results["xy/delay1"].throughput_flits_per_usec
+    nf_slow = results["negative-first/delay2"].throughput_flits_per_usec
+    # The adaptive advantage on transpose survives doubled node delay.
+    assert nf_slow > 1.2 * xy, (nf_slow, xy)
+    benchmark.extra_info["throughputs"] = {
+        name: round(r.throughput_flits_per_usec, 1)
+        for name, r in results.items()
+    }

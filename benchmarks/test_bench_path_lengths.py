@@ -1,0 +1,37 @@
+"""Experiment sec6-pathlen: Section 6's average path lengths.
+
+Paper: uniform 10.61 vs matrix-transpose 11.34 hops in the 16x16 mesh;
+uniform 4.01 vs reverse-flip 4.27 hops in the 8-cube — the adaptive
+algorithms' throughput wins are *despite* slightly longer paths.
+"""
+
+import pytest
+
+from repro.experiments.tables import path_length_table
+from repro.topology import Hypercube, Mesh2D
+from repro.traffic.patterns import UniformTraffic
+from repro.traffic.permutations import mesh_transpose, reverse_flip
+
+
+def test_bench_path_length_table(benchmark):
+    table = benchmark(path_length_table, 16, 8)
+    print("\n" + table)
+
+
+def test_bench_paper_values(benchmark):
+    def compute():
+        return {
+            "mesh-uniform": UniformTraffic(Mesh2D(16, 16)).mean_minimal_hops(),
+            "mesh-transpose": mesh_transpose(Mesh2D(16, 16)).mean_minimal_hops(),
+            "cube-uniform": UniformTraffic(Hypercube(8)).mean_minimal_hops(),
+            "cube-reverse-flip": reverse_flip(Hypercube(8)).mean_minimal_hops(),
+        }
+
+    values = benchmark(compute)
+    print(f"\nmeasured: {values}")
+    assert values["mesh-uniform"] == pytest.approx(10.64, abs=0.1)   # paper 10.61
+    assert values["mesh-transpose"] == pytest.approx(11.34, abs=0.05)
+    assert values["cube-uniform"] == pytest.approx(4.01, abs=0.02)
+    assert values["cube-reverse-flip"] == pytest.approx(4.27, abs=0.02)
+    assert values["mesh-transpose"] > values["mesh-uniform"]
+    assert values["cube-reverse-flip"] > values["cube-uniform"]

@@ -1,0 +1,20 @@
+"""Experiment sec5-pcube-table: the Section 5 worked example.
+
+Binary 10-cube, source 1011010100 to destination 0010111001: h = 6,
+h0 = h1 = 3, 36 shortest paths, per-hop choice counts
+3(+2), 2(+2), 1(+2), 3, 2, 1 — digit for digit.
+"""
+
+from repro.experiments.tables import PCUBE_EXAMPLE, pcube_example_table
+
+
+def test_bench_pcube_example(benchmark):
+    rows, rendered = benchmark(pcube_example_table)
+    print("\n" + rendered)
+    assert [(r.choices, r.extra_choices) for r in rows] == list(
+        PCUBE_EXAMPLE["expected_choices"]
+    )
+    assert tuple(r.dimension_taken for r in rows) == PCUBE_EXAMPLE[
+        "dimensions_taken"
+    ]
+    assert "enumerated=36" in rendered

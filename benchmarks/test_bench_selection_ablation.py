@@ -1,0 +1,46 @@
+"""Ablation: output-selection policies (the paper's future-work axis).
+
+The paper fixes the xy output selection policy and defers policy studies
+to [19]; this ablation compares xy, random, and most-free-downstream
+selection for negative-first on transpose traffic near saturation.
+"""
+
+from benchmarks.conftest import run_once
+from repro.routing.selection import make_output_policy
+from repro.sim import SimulationConfig, simulate
+from repro.topology import Mesh2D
+
+
+def test_bench_output_selection_ablation(benchmark):
+    mesh = Mesh2D(8, 8)
+
+    def run():
+        results = {}
+        for policy_name in ("xy", "random", "most-free"):
+            config = SimulationConfig(
+                warmup_cycles=1000,
+                measure_cycles=5000,
+                drain_cycles=0,
+                output_policy=make_output_policy(policy_name),
+            )
+            result = simulate(
+                mesh, "negative-first", "transpose",
+                offered_load=0.5, config=config,
+            )
+            results[policy_name] = result
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    for name, result in results.items():
+        print(f"output-selection={name:10s} {result.summary()}")
+    throughputs = {
+        name: r.throughput_flits_per_usec for name, r in results.items()
+    }
+    # All policies deliver; none collapses (within 2x of the best).
+    best = max(throughputs.values())
+    for name, value in throughputs.items():
+        assert value > best / 2, (name, throughputs)
+    benchmark.extra_info["throughputs"] = {
+        k: round(v, 1) for k, v in throughputs.items()
+    }

@@ -1,0 +1,44 @@
+"""Experiment thm1-turns: Theorems 1 and 6 — turn and cycle counts.
+
+Regenerates the counts behind Theorem 1 (prohibiting a quarter of the
+turns, n(n-1), is necessary) and checks the sufficiency witness
+(negative-first prohibits exactly n(n-1) turns and is deadlock free).
+"""
+
+from repro.core.channel_graph import restriction_is_deadlock_free
+from repro.core.restrictions import negative_first_restriction
+from repro.core.turns import (
+    abstract_cycles,
+    minimum_prohibited_turns,
+    ninety_degree_turns,
+)
+from repro.experiments.tables import theorem1_table
+from repro.topology import Mesh
+
+
+def test_bench_theorem1_counts(benchmark):
+    table = benchmark(theorem1_table, 6)
+    print("\n" + table)
+    for n in range(2, 7):
+        assert len(ninety_degree_turns(n)) == 4 * n * (n - 1)
+        assert len(abstract_cycles(n)) == n * (n - 1)
+        assert minimum_prohibited_turns(n) == n * (n - 1)
+
+
+def test_bench_theorem6_sufficiency(benchmark):
+    def check():
+        results = {}
+        for n in (2, 3, 4):
+            restriction = negative_first_restriction(n)
+            mesh = Mesh((3,) * n)
+            results[n] = (
+                len(restriction.prohibited),
+                restriction_is_deadlock_free(mesh, restriction),
+            )
+        return results
+
+    results = benchmark(check)
+    for n, (count, safe) in results.items():
+        assert count == n * (n - 1)
+        assert safe
+    print(f"\nnegative-first prohibits exactly n(n-1) turns and is safe: {results}")

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Fault tolerance: nonminimal turn-model routing around dead channels.
+
+Fails channels in an 8x8 mesh and compares how many source-destination
+pairs minimal and nonminimal west-first routing can still serve — the
+paper's Section 1 claim that "nonminimal routing provides better fault
+tolerance", made quantitative.  Finishes with a live simulation on a
+faulty mesh, where the nonminimal router keeps delivering packets.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.analysis.fault_tolerance import fault_tolerance_sweep
+from repro.core.restrictions import west_first_restriction
+from repro.routing import TurnRestrictionRouting
+from repro.sim import SimulationConfig, WormholeSimulator
+from repro.topology import Mesh2D, random_channel_faults
+from repro.traffic import Workload
+from repro.traffic.patterns import UniformTraffic
+
+
+def connectivity_sweep() -> None:
+    mesh = Mesh2D(6, 6)
+    print("6x6 mesh, west-first restriction, random channel faults")
+    print(f"{'failed':>8s} {'minimal routable':>18s} {'nonminimal routable':>21s}")
+    for point in fault_tolerance_sweep(
+        mesh, west_first_restriction(), [0, 2, 4, 8, 12, 20], seed=1
+    ):
+        print(
+            f"{point.failed_channels:8d} {point.minimal_fraction:17.1%} "
+            f"{point.nonminimal_fraction:20.1%}"
+        )
+
+
+def live_simulation() -> None:
+    mesh = Mesh2D(8, 8)
+    faulty = random_channel_faults(mesh, 6, seed=5)
+    routing = TurnRestrictionRouting(
+        faulty, west_first_restriction(), minimal=False, name="west-first"
+    )
+
+    # Only generate traffic for pairs the router can still serve.
+    from repro.sim.deadlock import RoutableUniformTraffic
+
+    workload = Workload(
+        pattern=RoutableUniformTraffic(routing), offered_load=0.08
+    )
+    config = SimulationConfig(
+        warmup_cycles=1_000, measure_cycles=6_000, drain_cycles=2_000
+    )
+    result = WormholeSimulator(routing, workload, config).run()
+    print()
+    print(f"8x8 mesh with 6 failed channels, nonminimal west-first:")
+    print(f"  {result.summary()}")
+    print(f"  mean hops {result.avg_hops:.2f} (detours around the faults)")
+    assert not result.deadlocked
+
+
+if __name__ == "__main__":
+    connectivity_sweep()
+    live_simulation()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Reproduce Figure 16 and the Section 5 worked example on hypercubes.
+
+First prints the paper's p-cube routing table for the binary 10-cube
+(source 1011010100 to destination 0010111001: 36 shortest paths, choice
+counts 3(+2), 2(+2), 1(+2), 3, 2, 1), then sweeps reverse-flip traffic on
+a hypercube comparing e-cube with the partially adaptive algorithms.
+
+Run:  python examples/hypercube_reverse_flip.py [--preset quick|mid|paper]
+"""
+
+import argparse
+
+from repro.experiments import figure16, pcube_example_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--preset", default="quick", choices=["quick", "mid", "paper"]
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    print("Section 5 worked example (binary 10-cube):")
+    _, rendered = pcube_example_table()
+    print(rendered)
+    print()
+
+    result = figure16(preset=args.preset, seed=args.seed)
+    print(result.render())
+    print()
+    print(
+        f"Best adaptive algorithm sustains {result.adaptive_advantage:.2f}x "
+        "e-cube (the paper reports roughly 4x on the 8-cube; the quick "
+        "preset's 6-cube shows a smaller but still decisive gap)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Run every performance figure at the paper's 256-node scale.
+
+Produces the numbers recorded in EXPERIMENTS.md.  Expect tens of minutes
+in pure Python; pass ``--preset mid`` for a faster pass at the same
+topology sizes with shorter windows.
+
+Run:  python scripts/run_paper_scale.py [--preset paper|mid] [--out results.txt]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import figure13, figure14, figure15, figure16
+from repro.experiments.tables import path_length_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="paper", choices=["quick", "mid", "paper"])
+    parser.add_argument("--out", default=None)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    out = open(args.out, "w") if args.out else sys.stdout
+
+    def emit(text=""):
+        print(text, file=out, flush=True)
+
+    emit(f"preset: {args.preset}   seed: {args.seed}")
+    emit()
+    emit("Section 6 path lengths:")
+    emit(path_length_table())
+    emit()
+    for driver in (figure13, figure14, figure15, figure16):
+        started = time.time()
+        result = driver(preset=args.preset, seed=args.seed)
+        emit(result.render())
+        emit(f"[{driver.__name__} took {time.time() - started:.0f}s]")
+        emit()
+    if args.out:
+        out.close()
+
+
+if __name__ == "__main__":
+    main()

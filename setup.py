@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All metadata lives in pyproject.toml.  This file exists so the package can
+be installed in environments without the ``wheel`` package (where PEP 660
+editable installs fail): ``python setup.py develop`` works with bare
+setuptools.
+"""
+
+from setuptools import setup
+
+setup()

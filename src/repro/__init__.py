@@ -1,0 +1,35 @@
+"""Reproduction of "The Turn Model for Adaptive Routing" (Glass & Ni).
+
+The package is organized as the paper is:
+
+* :mod:`repro.core` — the turn model itself: direction/turn algebra,
+  abstract cycles, prohibited-turn restrictions, the Dally-Seitz channel
+  dependency test, channel-numbering deadlock certificates, and the
+  degree-of-adaptiveness formulas.
+* :mod:`repro.topology` — n-dimensional meshes, k-ary n-cubes, and
+  hypercubes.
+* :mod:`repro.routing` — the derived routing algorithms (west-first,
+  north-last, negative-first, ABONF, ABOPL, p-cube, the torus
+  extensions) and the nonadaptive baselines (xy, e-cube), plus
+  input/output selection policies.
+* :mod:`repro.sim` — the flit-level wormhole network simulator of the
+  paper's Section 6 evaluation.
+* :mod:`repro.traffic` — uniform, matrix-transpose, reverse-flip, and
+  other workloads.
+* :mod:`repro.analysis` — load sweeps, sustainable-throughput search,
+  text reports.
+* :mod:`repro.experiments` — one driver per paper table and figure.
+
+Quickstart::
+
+    from repro.topology import Mesh2D
+    from repro.sim import simulate
+
+    result = simulate(Mesh2D(8, 8), "negative-first", "transpose",
+                      offered_load=0.1)
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,78 @@
+"""Text rendering of sweep results: the rows and series the paper plots.
+
+No plotting libraries are assumed; figures are emitted as aligned text
+tables (one row per sampled load) and a comparison summary of sustainable
+throughputs, which is the quantity the paper's prose compares ("twice
+that of the nonadaptive algorithms", "four times ...").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.analysis.sweep import SweepSeries
+
+__all__ = ["render_series_table", "render_comparison", "format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned text table."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered_rows)
+    return "\n".join(out)
+
+
+def render_series_table(series: SweepSeries) -> str:
+    """One latency-vs-throughput curve as a text table."""
+    headers = [
+        "offered(fl/node/cyc)",
+        "throughput(fl/us)",
+        "latency(us)",
+        "accept",
+        "status",
+    ]
+    rows = []
+    for p in series.points:
+        status = "DEADLOCK" if p.deadlocked else (
+            "ok" if p.sustainable else "saturated"
+        )
+        rows.append([
+            f"{p.offered_load:.3f}",
+            f"{p.throughput_flits_per_usec:.1f}",
+            f"{p.avg_latency_usec:.2f}",
+            f"{p.acceptance_ratio:.2f}",
+            status,
+        ])
+    title = f"{series.algorithm} / {series.pattern}"
+    return f"{title}\n{format_table(headers, rows)}"
+
+
+def render_comparison(
+    series_list: Sequence[SweepSeries], baseline: str
+) -> str:
+    """Sustainable-throughput comparison against a baseline algorithm.
+
+    Args:
+        series_list: measured curves (same pattern, same topology).
+        baseline: the algorithm name to normalize against (the paper's
+            nonadaptive xy or e-cube).
+    """
+    by_name = {s.algorithm: s for s in series_list}
+    if baseline not in by_name:
+        known = ", ".join(sorted(by_name))
+        raise ValueError(f"baseline {baseline!r} not among series: {known}")
+    base = by_name[baseline].sustainable_throughput
+    headers = ["algorithm", "sustainable(fl/us)", f"vs {baseline}"]
+    rows = []
+    for series in series_list:
+        sustained = series.sustainable_throughput
+        ratio = sustained / base if base > 0 else float("inf")
+        rows.append([series.algorithm, f"{sustained:.1f}", f"{ratio:.2f}x"])
+    return format_table(headers, rows)

@@ -1,0 +1,74 @@
+"""Sustainable-throughput estimation.
+
+The paper calls a throughput *sustainable* when the number of packets
+queued at their source processors stays small and bounded.  Beyond the
+coarse grid of a sweep, :func:`find_sustainable_load` refines the boundary
+by bisection on the offered load.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.routing.base import RoutingAlgorithm
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import simulate
+from repro.topology.base import Topology
+from repro.traffic.patterns import TrafficPattern
+from repro.traffic.workload import PAPER_SIZES, SizeDistribution
+
+__all__ = ["find_sustainable_load"]
+
+
+def find_sustainable_load(
+    topology: Topology,
+    algorithm: Union[str, RoutingAlgorithm],
+    pattern: Union[str, TrafficPattern],
+    low: float = 0.01,
+    high: float = 1.0,
+    tolerance: float = 0.02,
+    config: Optional[SimulationConfig] = None,
+    sizes: SizeDistribution = PAPER_SIZES,
+    seed: int = 1,
+) -> tuple[float, float]:
+    """Bisect for the largest sustainable offered load.
+
+    Args:
+        topology, algorithm, pattern: as for :func:`repro.sim.simulate`.
+        low: a load assumed sustainable (checked; if not, (0, 0) is
+            returned).
+        high: a load assumed unsustainable (checked; if it sustains, it
+            is returned directly).
+        tolerance: bisection stops when the bracket is this narrow.
+        config, sizes, seed: forwarded to the simulator.
+
+    Returns:
+        ``(load, throughput)``: the highest sustainable offered load found
+        and the throughput (flits/usec) measured there.
+    """
+    if not low < high:
+        raise ValueError(f"need low < high, got {low} >= {high}")
+
+    def probe(load: float):
+        return simulate(
+            topology, algorithm, pattern,
+            offered_load=load, sizes=sizes, config=config, seed=seed,
+        )
+
+    low_result = probe(low)
+    if not low_result.is_sustainable():
+        return 0.0, 0.0
+    high_result = probe(high)
+    if high_result.is_sustainable():
+        return high, high_result.throughput_flits_per_usec
+    best_load, best_throughput = low, low_result.throughput_flits_per_usec
+    while high - low > tolerance:
+        mid = (low + high) / 2
+        result = probe(mid)
+        if result.is_sustainable():
+            low = mid
+            best_load = mid
+            best_throughput = result.throughput_flits_per_usec
+        else:
+            high = mid
+    return best_load, best_throughput

@@ -1,0 +1,149 @@
+"""Injection-rate sweeps: the latency-versus-throughput curves.
+
+Each of the paper's performance figures (13-16) plots average latency
+against achieved throughput for several routing algorithms as the offered
+load rises.  :func:`sweep_loads` produces one such series per algorithm;
+:class:`SweepPoint` holds one (load, throughput, latency) sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.registry import make_routing
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import simulate
+from repro.sim.stats import SimulationResult
+from repro.topology.base import Topology
+from repro.traffic.patterns import TrafficPattern
+from repro.traffic.permutations import make_pattern
+from repro.traffic.workload import PAPER_SIZES, SizeDistribution
+
+__all__ = ["SweepPoint", "SweepSeries", "sweep_loads", "default_loads"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sample of a latency-throughput curve."""
+
+    offered_load: float
+    throughput_flits_per_usec: float
+    avg_latency_usec: float
+    sustainable: bool
+    deadlocked: bool
+    acceptance_ratio: float
+    avg_hops: float
+
+    @classmethod
+    def from_result(cls, result: SimulationResult) -> "SweepPoint":
+        return cls(
+            offered_load=result.offered_load,
+            throughput_flits_per_usec=result.throughput_flits_per_usec,
+            avg_latency_usec=result.avg_latency_usec,
+            sustainable=result.is_sustainable(),
+            deadlocked=result.deadlocked,
+            acceptance_ratio=result.acceptance_ratio,
+            avg_hops=result.avg_hops,
+        )
+
+
+@dataclass
+class SweepSeries:
+    """A full curve for one routing algorithm."""
+
+    algorithm: str
+    pattern: str
+    points: List[SweepPoint]
+
+    @property
+    def sustainable_throughput(self) -> float:
+        """The highest throughput measured at a sustainable load.
+
+        This is the paper's "maximum sustainable throughput": beyond it
+        source queues grow without bound.
+        """
+        sustained = [
+            p.throughput_flits_per_usec for p in self.points if p.sustainable
+        ]
+        return max(sustained) if sustained else 0.0
+
+    @property
+    def saturation_throughput(self) -> float:
+        """The highest throughput measured anywhere on the curve."""
+        if not self.points:
+            return 0.0
+        return max(p.throughput_flits_per_usec for p in self.points)
+
+    def latency_at(self, load: float) -> Optional[float]:
+        """Latency measured at the given offered load, if sampled."""
+        for point in self.points:
+            if abs(point.offered_load - load) < 1e-12:
+                return point.avg_latency_usec
+        return None
+
+
+def default_loads(
+    start: float = 0.05, stop: float = 0.6, count: int = 8
+) -> List[float]:
+    """An evenly spaced grid of offered loads (flits/node/cycle)."""
+    if count < 2:
+        raise ValueError(f"need at least two load points, got {count}")
+    step = (stop - start) / (count - 1)
+    return [round(start + i * step, 6) for i in range(count)]
+
+
+def sweep_loads(
+    topology: Topology,
+    algorithm: Union[str, RoutingAlgorithm],
+    pattern: Union[str, TrafficPattern],
+    loads: Sequence[float],
+    config: Optional[SimulationConfig] = None,
+    sizes: SizeDistribution = PAPER_SIZES,
+    seed: int = 1,
+    stop_after_saturation: int = 1,
+) -> SweepSeries:
+    """Measure one latency-throughput curve.
+
+    Args:
+        topology: the network.
+        algorithm: routing algorithm (instance or registry name).
+        pattern: traffic pattern (instance or name).
+        loads: offered loads to sample, ascending.
+        config: simulator configuration shared by every point.
+        sizes: packet size distribution.
+        seed: workload seed (same for every point, so curves differ only
+            in load).
+        stop_after_saturation: how many consecutive unsustainable points
+            to sample past saturation before stopping the sweep (they
+            chart the latency blow-up; more adds detail but costs time).
+
+    Returns:
+        The measured series.
+    """
+    if isinstance(algorithm, str):
+        algorithm = make_routing(algorithm, topology)
+    if isinstance(pattern, str):
+        pattern = make_pattern(pattern, topology)
+    points: List[SweepPoint] = []
+    past_saturation = 0
+    for load in loads:
+        result = simulate(
+            topology,
+            algorithm,
+            pattern,
+            offered_load=load,
+            sizes=sizes,
+            config=config,
+            seed=seed,
+        )
+        point = SweepPoint.from_result(result)
+        points.append(point)
+        if not point.sustainable:
+            past_saturation += 1
+            if past_saturation >= stop_after_saturation:
+                break
+        else:
+            past_saturation = 0
+    return SweepSeries(algorithm.name, pattern.name, points)

@@ -1,0 +1,234 @@
+"""Command-line interface: ``turnmodel``.
+
+Subcommands::
+
+    turnmodel tables                    # the paper's tables and counts
+    turnmodel figure 14 --preset quick  # reproduce a performance figure
+    turnmodel simulate --topology mesh:8x8 --algorithm negative-first \\
+              --pattern transpose --load 0.2
+    turnmodel deadlock --figure 1       # watch an unsafe algorithm deadlock
+    turnmodel list                      # available algorithms and patterns
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.routing.registry import available_algorithms, make_routing
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import simulate
+from repro.topology.base import Topology
+from repro.topology.hexagonal import HexMesh
+from repro.topology.hypercube import Hypercube
+from repro.topology.mesh import Mesh, Mesh2D
+from repro.topology.octagonal import OctMesh
+from repro.topology.torus import Torus
+
+__all__ = ["main", "parse_topology"]
+
+
+def parse_topology(spec: str) -> Topology:
+    """Parse a topology spec: ``mesh:16x16``, ``cube:8``, ``torus:4x2``.
+
+    Mesh specs take per-dimension radixes separated by ``x``; cube specs
+    take the dimension count; torus specs take ``k x n``; hexagonal and
+    octagonal meshes take ``m x n`` (``hex:6x6``, ``oct:6x6``).
+    """
+    kind, _, arg = spec.partition(":")
+    if not arg:
+        raise ValueError(f"topology spec needs a ':<size>' part: {spec!r}")
+    if kind == "mesh":
+        dims = tuple(int(part) for part in arg.split("x"))
+        if len(dims) == 2:
+            return Mesh2D(*dims)
+        return Mesh(dims)
+    if kind == "cube":
+        return Hypercube(int(arg))
+    if kind == "torus":
+        k, _, n = arg.partition("x")
+        return Torus(int(k), int(n or 2))
+    if kind == "hex":
+        m, _, n = arg.partition("x")
+        return HexMesh(int(m), int(n or m))
+    if kind == "oct":
+        m, _, n = arg.partition("x")
+        return OctMesh(int(m), int(n or m))
+    raise ValueError(
+        f"unknown topology kind {kind!r} (use mesh/cube/torus/hex/oct)"
+    )
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments import tables
+
+    which = args.which
+    if which in ("all", "theorem1"):
+        print("Theorem 1: minimum prohibited turns")
+        print(tables.theorem1_table())
+        print()
+    if which in ("all", "enumeration"):
+        candidates, free, unique, rendered = tables.enumeration_table()
+        print("Section 3: one-turn-per-cycle prohibitions in a 2D mesh")
+        print(rendered)
+        print()
+    if which in ("all", "adaptiveness"):
+        print("Section 3.4: degree of adaptiveness (6x6 mesh)")
+        print(tables.adaptiveness_table())
+        print()
+    if which in ("all", "pcube"):
+        print("Section 5: p-cube routing example in a binary 10-cube")
+        _, rendered = tables.pcube_example_table()
+        print(rendered)
+        print()
+    if which in ("all", "pathlen"):
+        print("Section 6: average minimal path lengths")
+        print(tables.path_length_table())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import figure13, figure14, figure15, figure16
+
+    drivers = {13: figure13, 14: figure14, 15: figure15, 16: figure16}
+    driver = drivers.get(args.number)
+    if driver is None:
+        print(f"no driver for figure {args.number}; choose 13-16", file=sys.stderr)
+        return 2
+    result = driver(preset=args.preset, seed=args.seed)
+    print(result.render())
+    if args.out:
+        from repro.analysis.results_io import save_json
+
+        save_json(result, args.out)
+        print(f"[saved to {args.out}]")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology)
+    config = SimulationConfig(
+        warmup_cycles=args.warmup,
+        measure_cycles=args.measure,
+        drain_cycles=args.drain,
+        buffer_depth=args.buffer_depth,
+    )
+    result = simulate(
+        topology,
+        args.algorithm,
+        args.pattern,
+        offered_load=args.load,
+        config=config,
+        seed=args.seed,
+    )
+    print(result.summary())
+    print(f"  avg hops:        {result.avg_hops:.2f}")
+    print(f"  queue delay:     {result.avg_queue_delay_cycles:.1f} cycles")
+    print(f"  injected/done:   {result.total_injected}/{result.total_delivered}")
+    return 0
+
+
+def _cmd_deadlock(args: argparse.Namespace) -> int:
+    from repro.sim.deadlock import run_deadlock_demo, run_figure4_demo
+
+    if args.figure == 1:
+        result = run_deadlock_demo()
+        name = "unrestricted adaptive routing (Figure 1)"
+    else:
+        result = run_figure4_demo()
+        name = "the Figure 4 faulty prohibition"
+    verdict = "DEADLOCKED" if result.deadlocked else "completed (unexpected!)"
+    print(f"{name}: {verdict} after delivering {result.total_delivered} packets")
+    return 0
+
+
+def _cmd_loads(args: argparse.Namespace) -> int:
+    from repro.analysis.channel_load import load_report
+    from repro.traffic.permutations import make_pattern
+
+    topology = parse_topology(args.topology)
+    pattern = make_pattern(args.pattern, topology)
+    for name in args.algorithm:
+        routing = make_routing(name, topology)
+        report = load_report(topology, routing, pattern)
+        print(f"{name:18s} {report}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for spec in ("mesh:8x8", "cube:6", "torus:4x2", "hex:6x6", "oct:6x6"):
+        topology = parse_topology(spec)
+        names = ", ".join(available_algorithms(topology))
+        print(f"{spec:12s} {names}")
+    print(
+        "patterns: uniform, transpose, transpose-diagonal, reverse-flip, "
+        "bit-complement, bit-reverse, shuffle, tornado"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="turnmodel",
+        description="Turn-model adaptive routing: algorithms, proofs, simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tables = sub.add_parser("tables", help="print the paper's tables")
+    p_tables.add_argument(
+        "--which",
+        default="all",
+        choices=["all", "theorem1", "enumeration", "adaptiveness", "pcube", "pathlen"],
+    )
+    p_tables.set_defaults(func=_cmd_tables)
+
+    p_fig = sub.add_parser("figure", help="reproduce a performance figure")
+    p_fig.add_argument("number", type=int, help="13, 14, 15, or 16")
+    p_fig.add_argument("--preset", default="quick", choices=["quick", "mid", "paper"])
+    p_fig.add_argument("--seed", type=int, default=1)
+    p_fig.add_argument("--out", default=None, help="archive the series as JSON")
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_sim = sub.add_parser("simulate", help="run one simulation point")
+    p_sim.add_argument("--topology", default="mesh:8x8")
+    p_sim.add_argument("--algorithm", default="negative-first")
+    p_sim.add_argument("--pattern", default="uniform")
+    p_sim.add_argument("--load", type=float, default=0.1)
+    p_sim.add_argument("--warmup", type=int, default=2000)
+    p_sim.add_argument("--measure", type=int, default=8000)
+    p_sim.add_argument("--drain", type=int, default=3000)
+    p_sim.add_argument("--buffer-depth", type=int, default=1)
+    p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_dead = sub.add_parser("deadlock", help="demonstrate a deadlock")
+    p_dead.add_argument("--figure", type=int, default=1, choices=[1, 4])
+    p_dead.set_defaults(func=_cmd_deadlock)
+
+    p_loads = sub.add_parser(
+        "loads", help="static channel-load analysis (ideal saturation bounds)"
+    )
+    p_loads.add_argument("--topology", default="mesh:8x8")
+    p_loads.add_argument("--pattern", default="transpose")
+    p_loads.add_argument(
+        "--algorithm",
+        nargs="+",
+        default=["xy", "west-first", "north-last", "negative-first"],
+    )
+    p_loads.set_defaults(func=_cmd_loads)
+
+    p_list = sub.add_parser("list", help="list algorithms and patterns")
+    p_list.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``turnmodel`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

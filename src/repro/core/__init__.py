@@ -1,0 +1,103 @@
+"""The turn model: directions, turns, cycles, restrictions, and proofs.
+
+This package implements the paper's primary contribution (Section 2): the
+six-step procedure for deriving deadlock-free, livelock-free, maximally
+adaptive wormhole routing algorithms by prohibiting the minimum number of
+turns, together with the supporting theory — the Dally-Seitz channel
+dependency test, the channel numbering certificates of Theorems 2/3/5, and
+the degree-of-adaptiveness formulas of Sections 3.4, 4.1, and 5.
+
+The submodules that operate on concrete topologies (``channel_graph``,
+``model``, ``numbering``, ``adaptiveness``) are re-exported lazily so that
+``repro.topology`` can import the direction algebra without a circular
+import.
+"""
+
+from repro.core.digraph import Digraph
+from repro.core.directions import EAST, NORTH, SOUTH, WEST, Direction, all_directions
+from repro.core.restrictions import (
+    TurnRestriction,
+    abonf_restriction,
+    abopl_restriction,
+    fully_adaptive,
+    negative_first_restriction,
+    north_last_restriction,
+    west_first_restriction,
+    xy_restriction,
+)
+from repro.core.turns import (
+    Turn,
+    abstract_cycles,
+    all_turns,
+    minimum_prohibited_turns,
+    ninety_degree_turns,
+)
+
+#: Lazily re-exported names and the submodules providing them (these
+#: submodules import repro.topology, which imports this package).
+_LAZY = {
+    "turn_cdg": "channel_graph",
+    "routing_cdg": "channel_graph",
+    "find_dependency_cycle": "channel_graph",
+    "is_deadlock_free": "channel_graph",
+    "restriction_is_deadlock_free": "channel_graph",
+    "RouteFn": "channel_graph",
+    "TurnModel": "model",
+    "mesh_symmetries_2d": "model",
+    "apply_symmetry": "model",
+    "symmetry_classes": "model",
+    "west_first_numbering": "numbering",
+    "north_last_numbering": "numbering",
+    "negative_first_numbering": "numbering",
+    "certifies": "numbering",
+    "potential_numbering": "numbering",
+    "multinomial": "adaptiveness",
+    "s_fully_adaptive": "adaptiveness",
+    "s_west_first": "adaptiveness",
+    "s_north_last": "adaptiveness",
+    "s_negative_first": "adaptiveness",
+    "s_abonf": "adaptiveness",
+    "s_abopl": "adaptiveness",
+    "s_pcube": "adaptiveness",
+    "s_ecube": "adaptiveness",
+    "pcube_adaptiveness_ratio": "adaptiveness",
+    "count_shortest_paths": "adaptiveness",
+    "average_adaptiveness_ratio": "adaptiveness",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f"{__name__}.{module_name}")
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+__all__ = [
+    "Direction",
+    "all_directions",
+    "WEST",
+    "EAST",
+    "SOUTH",
+    "NORTH",
+    "Turn",
+    "all_turns",
+    "ninety_degree_turns",
+    "abstract_cycles",
+    "minimum_prohibited_turns",
+    "TurnRestriction",
+    "fully_adaptive",
+    "xy_restriction",
+    "west_first_restriction",
+    "north_last_restriction",
+    "negative_first_restriction",
+    "abonf_restriction",
+    "abopl_restriction",
+    "Digraph",
+    *sorted(_LAZY),
+]

@@ -1,0 +1,125 @@
+"""Channel dependency graphs and the Dally-Seitz deadlock test.
+
+Dally and Seitz showed that a wormhole routing algorithm is deadlock free
+if and only if its *channel dependency graph* — channels as vertices, with
+an edge from channel ``a`` to channel ``b`` whenever the algorithm can
+route a packet that holds ``a`` and next requests ``b`` — is acyclic.  The
+turn model's Step 4 chooses prohibited turns precisely so this graph has no
+cycles.
+
+Two builders are provided:
+
+* :func:`turn_cdg` builds the dependency graph induced by a
+  :class:`~repro.core.restrictions.TurnRestriction` alone: every permitted
+  turn (and straight continuation) between physically adjacent channels is
+  an edge.  This over-approximates any routing algorithm obeying the
+  restriction, so acyclicity here certifies *every* such algorithm,
+  minimal or nonminimal.
+
+* :func:`routing_cdg` builds the exact dependency graph of a concrete
+  routing relation, tracking which (channel, destination) pairs are
+  actually realizable from some source.  This is what the torus algorithms
+  need, since their deadlock freedom depends on *how* wraparound channels
+  are used, not just on which turns exist.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, List, Optional
+
+from repro.core.digraph import Digraph
+from repro.core.restrictions import TurnRestriction
+from repro.topology.base import Topology
+from repro.topology.channels import Channel, NodeId
+
+__all__ = [
+    "RouteFn",
+    "turn_cdg",
+    "routing_cdg",
+    "find_dependency_cycle",
+    "is_deadlock_free",
+    "restriction_is_deadlock_free",
+]
+
+#: A routing relation: given the channel a packet arrived on (``None`` when
+#: the packet is at its source), the node it now occupies, and its
+#: destination, return the output channels the algorithm permits.
+RouteFn = Callable[[Optional[Channel], NodeId, NodeId], Iterable[Channel]]
+
+
+def turn_cdg(topology: Topology, restriction: TurnRestriction) -> Digraph:
+    """Dependency graph induced by a turn restriction alone.
+
+    An edge joins channel ``a`` to channel ``b`` whenever ``b`` leaves the
+    node ``a`` enters and the restriction permits the transition from
+    ``a``'s direction to ``b``'s direction (straight continuations and
+    permitted reversals included).
+    """
+    graph = Digraph()
+    for channel in topology.channels():
+        graph.add_vertex(channel)
+    for in_channel in topology.channels():
+        for out_channel in topology.out_channels(in_channel.dst):
+            if restriction.permits(in_channel.direction, out_channel.direction):
+                graph.add_edge(in_channel, out_channel)
+    return graph
+
+
+def routing_cdg(topology: Topology, route_fn: RouteFn) -> Digraph:
+    """Exact dependency graph of a routing relation.
+
+    Only realizable dependencies are included: for each destination, the
+    set of channels a packet bound for that destination can actually hold
+    is computed by forward closure from every source, and edges are added
+    along the way.
+    """
+    graph = Digraph()
+    for channel in topology.channels():
+        graph.add_vertex(channel)
+    for dest in topology.nodes():
+        frontier: deque[Channel] = deque()
+        reached: set[Channel] = set()
+        for source in topology.nodes():
+            if source == dest:
+                continue
+            for first in route_fn(None, source, dest):
+                if first not in reached:
+                    reached.add(first)
+                    frontier.append(first)
+        while frontier:
+            in_channel = frontier.popleft()
+            node = in_channel.dst
+            if node == dest:
+                continue
+            for out_channel in route_fn(in_channel, node, dest):
+                graph.add_edge(in_channel, out_channel)
+                if out_channel not in reached:
+                    reached.add(out_channel)
+                    frontier.append(out_channel)
+    return graph
+
+
+def find_dependency_cycle(
+    topology: Topology, route_fn: RouteFn
+) -> Optional[List[Channel]]:
+    """A cycle in the routing relation's dependency graph, or ``None``."""
+    return routing_cdg(topology, route_fn).find_cycle()
+
+
+def is_deadlock_free(topology: Topology, route_fn: RouteFn) -> bool:
+    """Dally-Seitz test: whether the routing relation cannot deadlock."""
+    return find_dependency_cycle(topology, route_fn) is None
+
+
+def restriction_is_deadlock_free(
+    topology: Topology, restriction: TurnRestriction
+) -> bool:
+    """Whether *every* routing algorithm obeying ``restriction`` is safe.
+
+    Checks acyclicity of the turn-induced dependency graph.  On topologies
+    with wraparound channels this is usually false even for safe
+    restrictions (rings cycle without turning); use :func:`is_deadlock_free`
+    with the concrete algorithm there.
+    """
+    return turn_cdg(topology, restriction).is_acyclic()

@@ -1,0 +1,120 @@
+"""Minimal directed-graph utilities used by the deadlock analysis.
+
+The channel dependency graph of a 16x16 mesh has about a thousand vertices
+and a few thousand edges, so a simple adjacency-set digraph with an
+iterative cycle search is all the core needs.  (Tests cross-check these
+routines against networkx.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Set
+
+__all__ = ["Digraph"]
+
+
+class Digraph:
+    """A directed graph over hashable vertices."""
+
+    def __init__(self) -> None:
+        self._succ: Dict[Hashable, Set[Hashable]] = {}
+
+    def add_vertex(self, v: Hashable) -> None:
+        """Add ``v`` if not already present."""
+        self._succ.setdefault(v, set())
+
+    def add_edge(self, u: Hashable, v: Hashable) -> None:
+        """Add the edge ``u -> v``, adding the endpoints as needed."""
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._succ[u].add(v)
+
+    def vertices(self) -> List[Hashable]:
+        return list(self._succ)
+
+    def successors(self, v: Hashable) -> Set[Hashable]:
+        return set(self._succ.get(v, ()))
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._succ.values())
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        return v in self._succ.get(u, ())
+
+    def edges(self) -> Iterable[tuple[Hashable, Hashable]]:
+        for u, succ in self._succ.items():
+            for v in succ:
+                yield u, v
+
+    def find_cycle(self) -> Optional[List[Hashable]]:
+        """Find a directed cycle, or return ``None`` if the graph is acyclic.
+
+        Returns:
+            The vertices of one cycle in order (first vertex not repeated
+            at the end), or ``None``.  Uses an iterative three-color DFS,
+            so it is safe on graphs far deeper than the Python recursion
+            limit.
+        """
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {v: WHITE for v in self._succ}
+        parent: Dict[Hashable, Hashable] = {}
+        for root in self._succ:
+            if color[root] != WHITE:
+                continue
+            stack: List[tuple[Hashable, Iterable[Hashable]]] = [
+                (root, iter(self._succ[root]))
+            ]
+            color[root] = GRAY
+            while stack:
+                vertex, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if color[child] == WHITE:
+                        color[child] = GRAY
+                        parent[child] = vertex
+                        stack.append((child, iter(self._succ[child])))
+                        advanced = True
+                        break
+                    if color[child] == GRAY:
+                        cycle = [vertex]
+                        node = vertex
+                        while node != child:
+                            node = parent[node]
+                            cycle.append(node)
+                        cycle.reverse()
+                        return cycle
+                if not advanced:
+                    color[vertex] = BLACK
+                    stack.pop()
+        return None
+
+    def is_acyclic(self) -> bool:
+        """Whether the graph contains no directed cycle."""
+        return self.find_cycle() is None
+
+    def topological_order(self) -> List[Hashable]:
+        """A topological order of the vertices.
+
+        Raises:
+            ValueError: if the graph has a cycle.
+        """
+        in_degree = {v: 0 for v in self._succ}
+        for _, v in self.edges():
+            in_degree[v] += 1
+        ready = [v for v, deg in in_degree.items() if deg == 0]
+        order: List[Hashable] = []
+        while ready:
+            v = ready.pop()
+            order.append(v)
+            for w in self._succ[v]:
+                in_degree[w] -= 1
+                if in_degree[w] == 0:
+                    ready.append(w)
+        if len(order) != len(self._succ):
+            raise ValueError("graph has a cycle; no topological order exists")
+        return order

@@ -1,0 +1,114 @@
+"""Direction algebra for n-dimensional networks.
+
+A *direction* in an n-dimensional mesh, torus, or hypercube is a pair of a
+dimension index and a sign: ``(+1)`` for travel toward higher coordinates and
+``(-1)`` for travel toward lower coordinates.  The turn model (Glass & Ni,
+Section 2, Step 1) partitions the channels of a network into sets according
+to these directions; everything else in the model — turns, abstract cycles,
+prohibited-turn sets — is phrased in terms of them.
+
+For 2D meshes the paper uses compass names, which we provide as module-level
+constants: ``WEST = -x``, ``EAST = +x``, ``SOUTH = -y``, ``NORTH = +y``
+(dimension 0 is x, dimension 1 is y, exactly as in Section 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "Direction",
+    "WEST",
+    "EAST",
+    "SOUTH",
+    "NORTH",
+    "COMPASS_NAMES",
+    "all_directions",
+]
+
+_SIGN_SYMBOL = {1: "+", -1: "-"}
+
+
+@dataclass(frozen=True, order=True)
+class Direction:
+    """A virtual direction of travel: a dimension and a sign.
+
+    Directions order first by dimension and then by sign, so sorting a
+    collection of directions yields the paper's "lowest dimension first"
+    order used by the xy output-selection policy.
+
+    Attributes:
+        dim: zero-based dimension index (0 is x, 1 is y, ...).
+        sign: +1 for travel toward higher coordinates, -1 for lower.
+    """
+
+    dim: int
+    sign: int
+
+    def __post_init__(self) -> None:
+        if self.dim < 0:
+            raise ValueError(f"dimension must be non-negative, got {self.dim}")
+        if self.sign not in (1, -1):
+            raise ValueError(f"sign must be +1 or -1, got {self.sign}")
+
+    @property
+    def is_positive(self) -> bool:
+        """Whether this direction travels toward higher coordinates."""
+        return self.sign == 1
+
+    @property
+    def is_negative(self) -> bool:
+        """Whether this direction travels toward lower coordinates."""
+        return self.sign == -1
+
+    @property
+    def opposite(self) -> "Direction":
+        """The 180-degree reversal of this direction."""
+        return Direction(self.dim, -self.sign)
+
+    def compass_name(self) -> str:
+        """The 2D compass name of this direction, if it has one.
+
+        Only dimensions 0 and 1 have compass names; other dimensions fall
+        back to the ``+d``/``-d`` notation.
+        """
+        return COMPASS_NAMES.get(self, str(self))
+
+    def __str__(self) -> str:
+        return f"{_SIGN_SYMBOL[self.sign]}{self.dim}"
+
+    def __repr__(self) -> str:
+        return f"Direction({self.dim}, {self.sign:+d})"
+
+
+#: Travel toward lower x (dimension 0), as in Section 2 of the paper.
+WEST = Direction(0, -1)
+#: Travel toward higher x (dimension 0).
+EAST = Direction(0, 1)
+#: Travel toward lower y (dimension 1).
+SOUTH = Direction(1, -1)
+#: Travel toward higher y (dimension 1).
+NORTH = Direction(1, 1)
+
+#: Compass names for the four 2D directions, matching the paper's usage.
+COMPASS_NAMES = {WEST: "west", EAST: "east", SOUTH: "south", NORTH: "north"}
+
+
+def all_directions(n_dims: int) -> Iterator[Direction]:
+    """Yield the 2n directions of an n-dimensional network.
+
+    Directions are yielded in sorted order: dimension-major, negative sign
+    before positive within a dimension.
+
+    Args:
+        n_dims: number of dimensions; must be at least 1.
+
+    Yields:
+        Each of the ``2 * n_dims`` directions exactly once.
+    """
+    if n_dims < 1:
+        raise ValueError(f"need at least one dimension, got {n_dims}")
+    for dim in range(n_dims):
+        yield Direction(dim, -1)
+        yield Direction(dim, 1)

@@ -1,0 +1,175 @@
+"""Turns between virtual directions and the abstract cycles they form.
+
+Step 2 of the turn model identifies the possible turns from one virtual
+direction to another (ignoring 180-degree and 0-degree turns), and Step 3
+identifies the cycles those turns can form.  In an n-dimensional mesh there
+are ``4 n (n-1)`` 90-degree turns, which form two abstract cycles in each of
+the ``n (n-1) / 2`` planes — ``n (n-1)`` cycles of four turns each
+(paper, Section 2 and Theorem 1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.directions import Direction, all_directions
+
+__all__ = [
+    "Turn",
+    "TurnKind",
+    "all_turns",
+    "ninety_degree_turns",
+    "abstract_cycles",
+    "plane_cycles",
+    "LEFT_CYCLE",
+    "RIGHT_CYCLE",
+]
+
+
+class TurnKind:
+    """Classification of a turn by the angle between its directions."""
+
+    NINETY = "90-degree"
+    ONE_EIGHTY = "180-degree"
+    ZERO = "0-degree"
+
+
+@dataclass(frozen=True, order=True)
+class Turn:
+    """A turn from one virtual direction of travel to another.
+
+    A packet travelling in ``frm`` that leaves its next router in ``to``
+    has made this turn.  Turns are the unit the model reasons about:
+    prohibiting a turn means no packet may ever leave a router in
+    direction ``to`` having entered it travelling in direction ``frm``.
+    """
+
+    frm: Direction
+    to: Direction
+
+    @property
+    def kind(self) -> str:
+        """Which of the paper's turn classes this turn belongs to."""
+        if self.frm == self.to:
+            return TurnKind.ZERO
+        if self.frm.dim == self.to.dim:
+            return TurnKind.ONE_EIGHTY
+        return TurnKind.NINETY
+
+    @property
+    def is_ninety_degree(self) -> bool:
+        return self.kind == TurnKind.NINETY
+
+    @property
+    def reverse(self) -> "Turn":
+        """The turn taken when traversing this one backwards."""
+        return Turn(self.to.opposite, self.frm.opposite)
+
+    def __str__(self) -> str:
+        return f"{self.frm.compass_name()}->{self.to.compass_name()}"
+
+    def __repr__(self) -> str:
+        return f"Turn({self.frm!r}, {self.to!r})"
+
+
+def all_turns(n_dims: int, include_reversals: bool = False) -> Iterator[Turn]:
+    """Yield every turn between distinct directions of an n-dim network.
+
+    Args:
+        n_dims: number of dimensions.
+        include_reversals: when true, also yield 180-degree turns.  The
+            model ignores these until Step 6, so the default is false.
+
+    Yields:
+        90-degree turns (and optionally 180-degree turns), each once.
+    """
+    directions = list(all_directions(n_dims))
+    for frm, to in itertools.permutations(directions, 2):
+        turn = Turn(frm, to)
+        if turn.is_ninety_degree or (
+            include_reversals and turn.kind == TurnKind.ONE_EIGHTY
+        ):
+            yield turn
+
+
+def ninety_degree_turns(n_dims: int) -> list[Turn]:
+    """All ``4 n (n-1)`` 90-degree turns of an n-dimensional network."""
+    return [turn for turn in all_turns(n_dims) if turn.is_ninety_degree]
+
+
+def plane_cycles(dim_a: int, dim_b: int) -> tuple[tuple[Turn, ...], tuple[Turn, ...]]:
+    """The two abstract cycles of four turns in the (dim_a, dim_b) plane.
+
+    The first cycle is the counterclockwise one (four left turns in the
+    paper's Figure 2) and the second is the clockwise one (four right
+    turns), with "counterclockwise" defined by treating ``dim_a`` as the
+    horizontal axis and ``dim_b`` as the vertical axis.
+
+    Args:
+        dim_a: one dimension of the plane.
+        dim_b: the other dimension; must differ from ``dim_a``.
+
+    Returns:
+        A pair ``(counterclockwise, clockwise)`` of four-turn cycles.
+    """
+    if dim_a == dim_b:
+        raise ValueError(f"a plane needs two distinct dimensions, got {dim_a} twice")
+    lo, hi = sorted((dim_a, dim_b))
+    east = Direction(lo, 1)
+    west = Direction(lo, -1)
+    north = Direction(hi, 1)
+    south = Direction(hi, -1)
+    counterclockwise = (
+        Turn(east, north),
+        Turn(north, west),
+        Turn(west, south),
+        Turn(south, east),
+    )
+    clockwise = (
+        Turn(east, south),
+        Turn(south, west),
+        Turn(west, north),
+        Turn(north, east),
+    )
+    return counterclockwise, clockwise
+
+
+def abstract_cycles(n_dims: int) -> list[tuple[Turn, ...]]:
+    """The ``n (n-1)`` abstract four-turn cycles of an n-dim network.
+
+    Two cycles per plane, over all ``n (n-1) / 2`` planes (paper,
+    Theorem 1).  Every 90-degree turn appears in exactly one cycle, so the
+    cycles partition the turns.
+    """
+    cycles: list[tuple[Turn, ...]] = []
+    for dim_a, dim_b in itertools.combinations(range(n_dims), 2):
+        cycles.extend(plane_cycles(dim_a, dim_b))
+    return cycles
+
+
+#: The counterclockwise abstract cycle of the 2D mesh (Figure 2, left).
+LEFT_CYCLE = plane_cycles(0, 1)[0]
+#: The clockwise abstract cycle of the 2D mesh (Figure 2, right).
+RIGHT_CYCLE = plane_cycles(0, 1)[1]
+
+
+def turns_partition_check(n_dims: int) -> bool:
+    """Whether the abstract cycles exactly partition the 90-degree turns.
+
+    This is the combinatorial fact behind Theorem 1; it is exposed as a
+    function so tests and the Theorem 1 benchmark can assert it for a
+    range of dimensions.
+    """
+    cycles = abstract_cycles(n_dims)
+    seen: list[Turn] = [turn for cycle in cycles for turn in cycle]
+    return len(seen) == len(set(seen)) == len(ninety_degree_turns(n_dims))
+
+
+def minimum_prohibited_turns(n_dims: int) -> int:
+    """The minimum number of turns to prohibit in an n-dim mesh.
+
+    Theorem 1: ``n (n-1)``, a quarter of the ``4 n (n-1)`` possible turns.
+    """
+    return n_dims * (n_dims - 1)

@@ -1,0 +1,39 @@
+"""Experiment drivers: one per paper table and figure (see DESIGN.md)."""
+
+from repro.experiments.figures import (
+    CUBE_ALGORITHMS,
+    MESH_ALGORITHMS,
+    FigureResult,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+)
+from repro.experiments.presets import PRESETS, Preset, get_preset
+from repro.experiments.tables import (
+    PCUBE_EXAMPLE,
+    adaptiveness_table,
+    enumeration_table,
+    path_length_table,
+    pcube_example_table,
+    theorem1_table,
+)
+
+__all__ = [
+    "FigureResult",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "MESH_ALGORITHMS",
+    "CUBE_ALGORITHMS",
+    "Preset",
+    "PRESETS",
+    "get_preset",
+    "theorem1_table",
+    "enumeration_table",
+    "adaptiveness_table",
+    "pcube_example_table",
+    "path_length_table",
+    "PCUBE_EXAMPLE",
+]

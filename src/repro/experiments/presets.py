@@ -1,0 +1,122 @@
+"""Scale presets for the Section 6 experiments.
+
+The paper simulates a 16x16 mesh and a binary 8-cube (256 nodes each).
+Running those at full fidelity in pure Python takes minutes per data
+point, so every experiment driver accepts a preset:
+
+* ``paper`` — the paper's topologies with long warmup/measurement windows;
+  used to produce the numbers recorded in EXPERIMENTS.md.
+* ``mid`` — the paper's topologies with shorter windows.
+* ``quick`` — 8x8 mesh / 6-cube with short windows; the default for the
+  pytest benchmarks and CI.  The qualitative shapes (who wins, and by
+  roughly what factor) match the paper at every preset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.sim.config import SimulationConfig
+from repro.topology.hypercube import Hypercube
+from repro.topology.mesh import Mesh2D
+
+__all__ = ["Preset", "PRESETS", "get_preset"]
+
+
+@dataclass(frozen=True)
+class Preset:
+    """One experiment scale.
+
+    Attributes:
+        name: preset identifier.
+        mesh_side: the 2D mesh is ``mesh_side x mesh_side``.
+        cube_dims: hypercube dimensionality.
+        warmup_cycles, measure_cycles, drain_cycles: simulator windows.
+        loads_mesh_uniform, ...: offered-load grids per experiment, in
+            flits/node/cycle, chosen to bracket each configuration's
+            saturation point.
+    """
+
+    name: str
+    mesh_side: int
+    cube_dims: int
+    warmup_cycles: int
+    measure_cycles: int
+    drain_cycles: int
+    loads_mesh_uniform: tuple
+    loads_mesh_transpose: tuple
+    loads_cube_uniform: tuple
+    loads_cube_transpose: tuple
+    loads_cube_reverse_flip: tuple
+
+    def mesh(self) -> Mesh2D:
+        return Mesh2D(self.mesh_side, self.mesh_side)
+
+    def cube(self) -> Hypercube:
+        return Hypercube(self.cube_dims)
+
+    def sim_config(self, **overrides) -> SimulationConfig:
+        settings = dict(
+            warmup_cycles=self.warmup_cycles,
+            measure_cycles=self.measure_cycles,
+            drain_cycles=self.drain_cycles,
+        )
+        settings.update(overrides)
+        return SimulationConfig(**settings)
+
+
+def _grid(*loads: float) -> tuple:
+    return tuple(loads)
+
+
+PRESETS = {
+    "quick": Preset(
+        name="quick",
+        mesh_side=8,
+        cube_dims=6,
+        warmup_cycles=1_500,
+        measure_cycles=6_000,
+        drain_cycles=2_500,
+        loads_mesh_uniform=_grid(0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.55),
+        loads_mesh_transpose=_grid(0.04, 0.08, 0.12, 0.16, 0.22, 0.30, 0.40),
+        loads_cube_uniform=_grid(0.10, 0.20, 0.30, 0.45, 0.60, 0.80),
+        loads_cube_transpose=_grid(0.05, 0.10, 0.16, 0.24, 0.34, 0.50, 0.70),
+        loads_cube_reverse_flip=_grid(0.05, 0.12, 0.20, 0.30, 0.45, 0.65, 0.90),
+    ),
+    "mid": Preset(
+        name="mid",
+        mesh_side=16,
+        cube_dims=8,
+        warmup_cycles=3_000,
+        measure_cycles=10_000,
+        drain_cycles=4_000,
+        loads_mesh_uniform=_grid(0.04, 0.08, 0.12, 0.16, 0.22, 0.30, 0.40),
+        loads_mesh_transpose=_grid(0.03, 0.06, 0.09, 0.13, 0.18, 0.25, 0.34),
+        loads_cube_uniform=_grid(0.10, 0.20, 0.30, 0.45, 0.60, 0.80),
+        loads_cube_transpose=_grid(0.05, 0.10, 0.16, 0.24, 0.34, 0.50, 0.70),
+        loads_cube_reverse_flip=_grid(0.05, 0.12, 0.20, 0.30, 0.45, 0.65, 0.90),
+    ),
+    "paper": Preset(
+        name="paper",
+        mesh_side=16,
+        cube_dims=8,
+        warmup_cycles=6_000,
+        measure_cycles=24_000,
+        drain_cycles=10_000,
+        loads_mesh_uniform=_grid(0.03, 0.06, 0.10, 0.14, 0.18, 0.24, 0.32, 0.42),
+        loads_mesh_transpose=_grid(0.02, 0.05, 0.08, 0.11, 0.15, 0.20, 0.27, 0.36),
+        loads_cube_uniform=_grid(0.08, 0.16, 0.25, 0.35, 0.48, 0.64, 0.85),
+        loads_cube_transpose=_grid(0.04, 0.09, 0.13, 0.18, 0.24, 0.32, 0.46, 0.65),
+        loads_cube_reverse_flip=_grid(0.05, 0.12, 0.20, 0.30, 0.45, 0.65, 0.90),
+    ),
+}
+
+
+def get_preset(name: str) -> Preset:
+    """Look up a preset by name (``quick``, ``mid``, or ``paper``)."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise ValueError(f"unknown preset {name!r}; known: {known}") from None

@@ -1,0 +1,101 @@
+"""Nonadaptive dimension-order routing: xy for meshes, e-cube for cubes.
+
+The xy routing algorithm routes a packet first along the x dimension
+(dimension 0) and then along the y dimension; the e-cube algorithm routes a
+packet first along the lowest dimension and then along higher and higher
+dimensions (paper, Section 1).  Both are the same rule — resolve the lowest
+dimension in which the current node differs from the destination — so one
+class serves meshes and hypercubes alike.  These are the paper's
+nonadaptive baselines in Section 6.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.routing.base import RoutingAlgorithm
+from repro.topology.base import Topology
+from repro.topology.channels import Channel, NodeId
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["DimensionOrderRouting", "xy_routing", "yx_routing", "ecube_routing"]
+
+
+class DimensionOrderRouting(RoutingAlgorithm):
+    """Route one dimension at a time, in a fixed dimension order.
+
+    Deadlock free because dimensions are visited in a fixed order, and
+    nonadaptive: exactly one output channel is ever offered.  The default
+    order is ascending — xy routing on meshes and e-cube on hypercubes;
+    pass a custom ``dimension_order`` for variants such as yx routing.
+    """
+
+    minimal = True
+
+    def __init__(
+        self,
+        topology: Topology,
+        name: str = "",
+        dimension_order: Optional[Sequence[int]] = None,
+    ):
+        super().__init__(topology)
+        if dimension_order is None:
+            dimension_order = tuple(range(topology.n_dims))
+        if sorted(dimension_order) != list(range(topology.n_dims)):
+            raise ValueError(
+                f"dimension order must permute 0..{topology.n_dims - 1}: "
+                f"{dimension_order}"
+            )
+        self.dimension_order = tuple(dimension_order)
+        if name:
+            self.name = name
+        elif self.dimension_order != tuple(range(topology.n_dims)):
+            self.name = "dimension-order" + "".join(
+                str(d) for d in self.dimension_order
+            )
+        else:
+            self.name = "e-cube" if isinstance(topology, Hypercube) else "xy"
+
+    def route(
+        self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
+    ) -> Sequence[Channel]:
+        productive = {
+            direction.dim: direction
+            for direction in self.topology.minimal_directions(node, dest)
+        }
+        for dim in self.dimension_order:
+            direction = productive.get(dim)
+            if direction is None:
+                continue
+            channel = self.topology.channel_in_direction(
+                node, direction, wraparound=False
+            )
+            if channel is None:
+                channel = self.topology.channel_in_direction(node, direction)
+            return (channel,) if channel is not None else ()
+        return ()
+
+
+def xy_routing(topology: Topology) -> DimensionOrderRouting:
+    """The xy routing algorithm for 2D meshes."""
+    if topology.n_dims != 2:
+        raise ValueError("xy routing is defined for 2D meshes")
+    return DimensionOrderRouting(topology, name="xy")
+
+
+def ecube_routing(topology: Hypercube) -> DimensionOrderRouting:
+    """The e-cube routing algorithm for hypercubes."""
+    if not isinstance(topology, Hypercube):
+        raise ValueError("e-cube routing is defined for hypercubes")
+    return DimensionOrderRouting(topology, name="e-cube")
+
+
+def yx_routing(topology: Topology) -> DimensionOrderRouting:
+    """yx routing for 2D meshes: the y dimension first, then x.
+
+    The mirror of xy routing; paired with it in lane-split virtual-channel
+    routing, the two cover every minimal quadrant path between them.
+    """
+    if topology.n_dims != 2:
+        raise ValueError("yx routing is defined for 2D meshes")
+    return DimensionOrderRouting(topology, name="yx", dimension_order=(1, 0))

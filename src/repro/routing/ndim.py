@@ -1,0 +1,88 @@
+"""The n-dimensional mesh analogs of west-first and north-last (Section 4.1).
+
+* All-but-one-negative-first (ABONF): route first adaptively in the
+  negative directions of all but one dimension (dimension ``n-1`` stays
+  out of the first phase), then adaptively in the other directions.
+* All-but-one-positive-last (ABOPL): route first adaptively in the
+  negative directions and the positive direction of dimension 0, then
+  adaptively in the remaining positive directions.
+
+For 2D meshes ABONF *is* west-first and ABOPL *is* north-last, which is
+why Section 6 labels the mesh curves ABONF and ABOPL.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.restrictions import abonf_restriction, abopl_restriction
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.turn_table import TurnRestrictionRouting
+from repro.topology.channels import Channel, NodeId
+from repro.topology.mesh import Mesh
+
+__all__ = [
+    "AllButOneNegativeFirstRouting",
+    "AllButOnePositiveLastRouting",
+    "abonf_nonminimal",
+    "abopl_nonminimal",
+]
+
+
+class AllButOneNegativeFirstRouting(RoutingAlgorithm):
+    """Minimal ABONF: negative hops of dimensions ``0..n-2`` first."""
+
+    name = "abonf"
+    minimal = True
+
+    def __init__(self, topology: Mesh):
+        super().__init__(topology)
+
+    def route(
+        self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
+    ) -> Sequence[Channel]:
+        last_dim = self.topology.n_dims - 1
+        productive = self.productive_channels(node, dest)
+        first_phase = [
+            ch
+            for ch in productive
+            if ch.direction.is_negative and ch.direction.dim != last_dim
+        ]
+        if first_phase:
+            return tuple(first_phase)
+        return tuple(productive)
+
+
+class AllButOnePositiveLastRouting(RoutingAlgorithm):
+    """Minimal ABOPL: positive hops of dimensions ``1..n-1`` last."""
+
+    name = "abopl"
+    minimal = True
+
+    def __init__(self, topology: Mesh):
+        super().__init__(topology)
+
+    def route(
+        self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
+    ) -> Sequence[Channel]:
+        productive = self.productive_channels(node, dest)
+        first_phase = [
+            ch
+            for ch in productive
+            if ch.direction.is_negative or ch.direction.dim == 0
+        ]
+        if first_phase:
+            return tuple(first_phase)
+        return tuple(productive)
+
+
+def abonf_nonminimal(topology: Mesh) -> TurnRestrictionRouting:
+    """Nonminimal ABONF via the generic turn-table router."""
+    restriction = abonf_restriction(topology.n_dims)
+    return TurnRestrictionRouting(topology, restriction, minimal=False, name="abonf")
+
+
+def abopl_nonminimal(topology: Mesh) -> TurnRestrictionRouting:
+    """Nonminimal ABOPL via the generic turn-table router."""
+    restriction = abopl_restriction(topology.n_dims)
+    return TurnRestrictionRouting(topology, restriction, minimal=False, name="abopl")

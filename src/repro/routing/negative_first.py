@@ -1,0 +1,54 @@
+"""Negative-first routing for meshes of any dimension (Sections 3.3, 4.1).
+
+Route a packet first adaptively in the negative directions and then
+adaptively in the positive directions.  The prohibited turns are the
+``n (n-1)`` turns from a positive direction to a negative direction —
+exactly the Theorem 1 minimum, which makes negative-first the witness for
+the sufficiency half of Theorem 6.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.restrictions import negative_first_restriction
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.turn_table import TurnRestrictionRouting
+from repro.topology.channels import Channel, NodeId
+from repro.topology.mesh import Mesh
+
+__all__ = ["NegativeFirstRouting", "negative_first_nonminimal"]
+
+
+class NegativeFirstRouting(RoutingAlgorithm):
+    """Minimal negative-first routing for an n-dimensional mesh."""
+
+    name = "negative-first"
+    minimal = True
+
+    def __init__(self, topology: Mesh):
+        super().__init__(topology)
+
+    def route(
+        self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
+    ) -> Sequence[Channel]:
+        productive = self.productive_channels(node, dest)
+        negative = [ch for ch in productive if ch.direction.is_negative]
+        if negative:
+            # All negative hops come before any positive hop.
+            return tuple(negative)
+        return tuple(productive)
+
+
+def negative_first_nonminimal(topology: Mesh) -> TurnRestrictionRouting:
+    """Nonminimal negative-first via the generic turn-table router.
+
+    The bottom path of Figure 10b — adaptive escape even when the minimal
+    algorithm has a single path — is this mode: routing can detour along
+    extra negative hops and recover with the permitted
+    negative-to-positive reversals.
+    """
+    restriction = negative_first_restriction(topology.n_dims)
+    return TurnRestrictionRouting(
+        topology, restriction, minimal=False, name="negative-first"
+    )

@@ -1,0 +1,51 @@
+"""North-last routing for 2D meshes (Section 3.2).
+
+Route a packet first adaptively west, south, and east, and then north.
+The prohibited turns are the two when travelling north, so a packet should
+only travel north when that is the last direction it needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.directions import NORTH
+from repro.core.restrictions import north_last_restriction
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.turn_table import TurnRestrictionRouting
+from repro.topology.channels import Channel, NodeId
+from repro.topology.mesh import Mesh
+
+__all__ = ["NorthLastRouting", "north_last_nonminimal"]
+
+
+class NorthLastRouting(RoutingAlgorithm):
+    """Minimal north-last routing: adaptive W/S/E first, north last."""
+
+    name = "north-last"
+    minimal = True
+
+    def __init__(self, topology: Mesh):
+        if topology.n_dims != 2:
+            raise ValueError("north-last routing is defined for 2D meshes")
+        super().__init__(topology)
+
+    def route(
+        self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
+    ) -> Sequence[Channel]:
+        productive = self.productive_channels(node, dest)
+        if dest[1] <= node[1]:
+            # No northward travel needed: fully adaptive among W/S/E.
+            return tuple(productive)
+        before_north = [ch for ch in productive if ch.direction != NORTH]
+        if before_north:
+            # Northward hops wait until every other dimension is resolved.
+            return tuple(before_north)
+        return tuple(productive)
+
+
+def north_last_nonminimal(topology: Mesh) -> TurnRestrictionRouting:
+    """Nonminimal north-last via the generic turn-table router."""
+    return TurnRestrictionRouting(
+        topology, north_last_restriction(), minimal=False, name="north-last"
+    )

@@ -1,0 +1,96 @@
+"""Turn-model routing on octagonal meshes (Section 7 future work).
+
+Negative-first generalizes to the eight-direction octagonal network with
+one refinement: the phase potential is the lexicographic ``phi = n*a + b``
+rather than the coordinate sum (the anti-diagonal leaves the sum
+unchanged).  Every negative-signed hop strictly decreases ``phi`` and
+every positive-signed hop strictly increases it, so routing all
+``phi``-negative hops before any ``phi``-positive hop is deadlock free by
+the Theorem 5 argument — machine-checked by
+:func:`repro.core.numbering.potential_numbering` in the tests.
+
+Minimality needs one care: once in the positive phase the router offers
+only positive hops (a positive-phase packet's remaining displacement
+always satisfies ``rx >= 0`` and ``ry >= 0 or |ry| <= rx``, from which a
+positive-only shortest completion exists), preserving both minimality and
+the one-way phase transition the proof requires.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.routing.base import RoutingAlgorithm
+from repro.topology.channels import Channel, NodeId
+from repro.topology.octagonal import OctMesh
+
+__all__ = ["OctNegativeFirstRouting", "OctDimensionOrderRouting"]
+
+
+class OctNegativeFirstRouting(RoutingAlgorithm):
+    """Negative-first on the octagonal mesh, over the phi potential."""
+
+    name = "oct-negative-first"
+    minimal = True
+
+    def __init__(self, topology: OctMesh):
+        if not isinstance(topology, OctMesh):
+            raise ValueError("octagonal routing needs an OctMesh")
+        super().__init__(topology)
+
+    def _positive_completable(self, node: NodeId, dest: NodeId) -> bool:
+        """Whether a positive-only shortest completion exists from here.
+
+        Positive moves subtract (1,0), (0,1), (1,1), or (1,-1) from the
+        remaining displacement ``r = dest - node``, so a positive-only
+        minimal path exists exactly when ``rx >= 0`` and either
+        ``ry >= 0`` or ``-ry <= rx``.
+        """
+        rx = dest[0] - node[0]
+        ry = dest[1] - node[1]
+        return rx >= 0 and (ry >= 0 or -ry <= rx)
+
+    def route(
+        self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
+    ) -> Sequence[Channel]:
+        productive = self.productive_channels(node, dest)
+        # Positive hops are only offered when the destination remains
+        # positive-only reachable afterwards (a productive diagonal can
+        # otherwise strand a packet that may no longer descend).
+        positive = tuple(
+            ch
+            for ch in productive
+            if ch.direction.is_positive
+            and self._positive_completable(ch.dst, dest)
+        )
+        if in_channel is not None and in_channel.direction.is_positive:
+            # One-way phase transition: after any positive hop, only
+            # positive hops (always minimally sufficient; see module doc).
+            return positive
+        negative = tuple(ch for ch in productive if ch.direction.is_negative)
+        return negative if negative else positive
+
+
+class OctDimensionOrderRouting(RoutingAlgorithm):
+    """Nonadaptive baseline: axis ``a`` first, then ``b``, no diagonals."""
+
+    name = "oct-ab-order"
+    minimal = False  # minimal in the Manhattan metric, not the king metric
+
+    def __init__(self, topology: OctMesh):
+        if not isinstance(topology, OctMesh):
+            raise ValueError("octagonal routing needs an OctMesh")
+        super().__init__(topology)
+
+    def route(
+        self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
+    ) -> Sequence[Channel]:
+        for dim in (0, 1):
+            delta = dest[dim] - node[dim]
+            if delta == 0:
+                continue
+            sign = 1 if delta > 0 else -1
+            for channel in self.topology.out_channels(node):
+                if channel.direction.dim == dim and channel.direction.sign == sign:
+                    return (channel,)
+        return ()

@@ -1,0 +1,128 @@
+"""Name-based construction of routing algorithms.
+
+The analysis harness and the experiment drivers refer to algorithms by the
+names the paper uses in its figures (``xy``, ``e-cube``, ``abonf``,
+``abopl``, ``negative-first``, ``p-cube``, ...); this registry turns a name
+plus a topology into the right algorithm instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.dimension_order import DimensionOrderRouting, yx_routing
+from repro.routing.hex_routing import (
+    HexDimensionOrderRouting,
+    HexNegativeFirstRouting,
+)
+from repro.routing.oct_routing import (
+    OctDimensionOrderRouting,
+    OctNegativeFirstRouting,
+)
+from repro.routing.ndim import (
+    AllButOneNegativeFirstRouting,
+    AllButOnePositiveLastRouting,
+    abonf_nonminimal,
+    abopl_nonminimal,
+)
+from repro.routing.negative_first import (
+    NegativeFirstRouting,
+    negative_first_nonminimal,
+)
+from repro.routing.north_last import NorthLastRouting, north_last_nonminimal
+from repro.routing.pcube import PCubeRouting
+from repro.routing.torus_routing import (
+    FirstHopWraparoundRouting,
+    NegativeFirstTorusRouting,
+)
+from repro.routing.west_first import WestFirstRouting, west_first_nonminimal
+from repro.topology.base import Topology
+from repro.topology.hexagonal import HexMesh
+from repro.topology.hypercube import Hypercube
+from repro.topology.mesh import Mesh
+from repro.topology.octagonal import OctMesh
+from repro.topology.torus import Torus
+
+__all__ = ["make_routing", "available_algorithms"]
+
+Factory = Callable[[Topology], RoutingAlgorithm]
+
+_FACTORIES: Dict[str, Factory] = {
+    # Nonadaptive baselines.
+    "xy": lambda t: DimensionOrderRouting(t, name="xy"),
+    "e-cube": lambda t: DimensionOrderRouting(t, name="e-cube"),
+    "dimension-order": DimensionOrderRouting,
+    # 2D mesh partially adaptive algorithms (Section 3).
+    "west-first": WestFirstRouting,
+    "north-last": NorthLastRouting,
+    "west-first-nonminimal": west_first_nonminimal,
+    "north-last-nonminimal": north_last_nonminimal,
+    # n-dimensional algorithms (Section 4.1); for 2D meshes abonf is
+    # west-first and abopl is north-last, matching the Section 6 labels.
+    "negative-first": NegativeFirstRouting,
+    "negative-first-nonminimal": negative_first_nonminimal,
+    "abonf": AllButOneNegativeFirstRouting,
+    "abopl": AllButOnePositiveLastRouting,
+    "abonf-nonminimal": abonf_nonminimal,
+    "abopl-nonminimal": abopl_nonminimal,
+    # Hypercube algorithms (Section 5).
+    "p-cube": lambda t: PCubeRouting(t, minimal=True),
+    "p-cube-nonminimal": lambda t: PCubeRouting(t, minimal=False),
+    # yx (the xy mirror, used by lane-split virtual-channel routing).
+    "yx": yx_routing,
+    # Section 7 future-work topologies.
+    "hex-negative-first": HexNegativeFirstRouting,
+    "hex-ab-order": HexDimensionOrderRouting,
+    "oct-negative-first": OctNegativeFirstRouting,
+    "oct-ab-order": OctDimensionOrderRouting,
+    # k-ary n-cube extensions (Section 4.2).
+    "negative-first-torus": NegativeFirstTorusRouting,
+    "xy+first-hop-wrap": lambda t: FirstHopWraparoundRouting(
+        t, DimensionOrderRouting(t)
+    ),
+    "negative-first+first-hop-wrap": lambda t: FirstHopWraparoundRouting(
+        t, NegativeFirstRouting(t)
+    ),
+}
+
+
+def available_algorithms(topology: Topology) -> list[str]:
+    """Names of the algorithms applicable to the given topology."""
+    names = []
+    for name in sorted(_FACTORIES):
+        if name.startswith("hex-"):
+            applicable = isinstance(topology, HexMesh)
+        elif name.startswith("oct-"):
+            applicable = isinstance(topology, OctMesh)
+        elif name in ("xy", "yx", "west-first", "north-last",
+                      "west-first-nonminimal", "north-last-nonminimal"):
+            applicable = isinstance(topology, Mesh) and topology.n_dims == 2
+        elif name in ("e-cube", "p-cube", "p-cube-nonminimal"):
+            applicable = isinstance(topology, Hypercube)
+        elif "torus" in name or "wrap" in name:
+            applicable = isinstance(topology, Torus)
+        else:
+            applicable = isinstance(topology, (Mesh, Hypercube))
+        if applicable:
+            names.append(name)
+    return names
+
+
+def make_routing(name: str, topology: Topology) -> RoutingAlgorithm:
+    """Construct the named routing algorithm on ``topology``.
+
+    Args:
+        name: an algorithm name as used in the paper's figures; see
+            :func:`available_algorithms`.
+        topology: the network to route on.
+
+    Raises:
+        ValueError: for unknown names.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise ValueError(f"unknown routing algorithm {name!r}; known: {known}") from None
+    return factory(topology)

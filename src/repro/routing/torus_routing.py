@@ -1,0 +1,123 @@
+"""Turn-model routing on k-ary n-cubes (Section 4.2).
+
+The partially adaptive mesh algorithms extend to the wraparound channels of
+k-ary n-cubes in two ways, both implemented here:
+
+* :class:`FirstHopWraparoundRouting` allows a packet to be routed along a
+  wraparound channel only on its first hop; afterwards any deadlock-free
+  mesh algorithm takes over.  The wraparound channels can be numbered above
+  every mesh channel, so deadlock freedom is inherited from the base
+  algorithm.
+
+* :class:`NegativeFirstTorusRouting` classifies each wraparound channel by
+  the virtual direction in which it routes packets — the wraparound channel
+  leaving the east edge is a second channel *to the west* — and applies
+  negative-first over the virtual directions.
+
+Both are strictly nonminimal in torus distance: for k-ary n-cubes with
+``k > 4`` no deadlock-free minimal algorithm exists without extra channels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.routing.base import RoutingAlgorithm
+from repro.topology.channels import Channel, NodeId
+from repro.topology.torus import Torus
+
+__all__ = ["FirstHopWraparoundRouting", "NegativeFirstTorusRouting"]
+
+
+class FirstHopWraparoundRouting(RoutingAlgorithm):
+    """Wraparound channels on the first hop only, then a mesh algorithm.
+
+    Args:
+        topology: the torus to route on.
+        base: a deadlock-free routing algorithm for the same node set,
+            treating the network as a mesh (it is queried with mesh
+            channels only and never offered a wraparound).
+    """
+
+    def __init__(self, topology: Torus, base: RoutingAlgorithm):
+        super().__init__(topology)
+        self.base = base
+        self.minimal = False
+        self.name = f"{base.name}+first-hop-wrap"
+
+    def _wrap_helps(self, channel: Channel, dest: NodeId) -> bool:
+        """Whether the wraparound hop shortens the remaining mesh distance."""
+        dim = channel.direction.dim
+        before = abs(dest[dim] - channel.src[dim])
+        after = abs(dest[dim] - channel.dst[dim])
+        return after + 1 < before
+
+    def route(
+        self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
+    ) -> Sequence[Channel]:
+        candidates = list(self.base.route(None if in_channel is None
+                                          or in_channel.wraparound
+                                          else in_channel, node, dest))
+        if in_channel is None:
+            candidates.extend(
+                ch
+                for ch in self.topology.out_channels(node)
+                if ch.wraparound and self._wrap_helps(ch, dest)
+            )
+        return tuple(candidates)
+
+
+class NegativeFirstTorusRouting(RoutingAlgorithm):
+    """Negative-first over virtual directions, wraparounds included.
+
+    Every channel — mesh or wraparound — carries the virtual direction in
+    which it routes packets.  Negative hops all precede positive hops, and
+    a wraparound is taken only when it pays off:
+
+    * a negative wraparound (east edge to west edge) converts the
+      remaining travel in its dimension into eastward travel, worthwhile
+      when ``1 + dest`` beats the mesh-west distance;
+    * a positive wraparound (west edge to east edge) lands exactly on the
+      east edge, so it is taken only when the destination coordinate is
+      ``k - 1`` (afterwards no westward travel is permitted).
+    """
+
+    def __init__(self, topology: Torus):
+        super().__init__(topology)
+        self.minimal = False
+        self.name = "negative-first-torus"
+
+    def _useful(self, channel: Channel, dest: NodeId) -> bool:
+        dim = channel.direction.dim
+        cur = channel.src[dim]
+        want = dest[dim]
+        if channel.direction.is_negative:
+            if channel.wraparound:
+                # Jump from the east edge (k-1) to 0, then travel east:
+                # 1 + want hops versus cur - want straight west.
+                return want != cur and 1 + want < cur - want
+            return want < cur
+        if channel.wraparound:
+            # Jump from the west edge (0) to k-1; no west travel may
+            # follow, so only exact landings count.
+            return want == self.topology.shape[dim] - 1 and want != cur
+        return want > cur
+
+    def route(
+        self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
+    ) -> Sequence[Channel]:
+        negative = []
+        positive = []
+        for channel in self.topology.out_channels(node):
+            if not self._useful(channel, dest):
+                continue
+            if channel.direction.is_negative:
+                negative.append(channel)
+            else:
+                positive.append(channel)
+        in_positive_phase = (
+            in_channel is not None and in_channel.direction.is_positive
+        )
+        if in_positive_phase or not negative:
+            return tuple(positive)
+        return tuple(negative)

@@ -1,0 +1,185 @@
+"""Generic routing driven directly by a turn restriction.
+
+The turn model's promise is that *any* routing algorithm using only the
+permitted turns is deadlock free.  :class:`TurnRestrictionRouting` is the
+most literal such algorithm: it offers every output channel whose turn from
+the incoming direction is permitted, optionally filtered to shortest-path
+hops (minimal mode) or to hops from which the destination remains reachable
+(nonminimal mode).
+
+The named algorithms of Sections 3-5 are hand-written phase algorithms; the
+test suite checks them hop-for-hop equivalent to this table-driven router
+instantiated with their restriction, which is how we validate both sides.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
+
+from repro.core.directions import Direction
+from repro.core.restrictions import TurnRestriction
+from repro.routing.base import RoutingAlgorithm
+from repro.topology.base import Topology
+from repro.topology.channels import Channel, NodeId
+
+__all__ = ["ReachabilityOracle", "TurnRestrictionRouting"]
+
+#: A routing state: the node a packet occupies and its direction of arrival.
+State = Tuple[NodeId, Optional[Direction]]
+
+
+class ReachabilityOracle:
+    """Answers: from this routing state, can the destination be reached?
+
+    A nonminimal router must never take a hop after which the turn
+    restriction makes the destination unreachable (e.g. a negative-first
+    packet overshooting its destination in a positive direction could
+    never come back).  The oracle computes, per destination, the set of
+    (node, arrival-direction) states from which some permitted-turn path
+    reaches the destination, by reverse breadth-first search.
+    """
+
+    def __init__(self, topology: Topology, restriction: TurnRestriction):
+        self.topology = topology
+        self.restriction = restriction
+        self._cache: Dict[NodeId, Set[State]] = {}
+        self._in_channels: Dict[NodeId, list[Channel]] = {}
+        for channel in topology.channels():
+            self._in_channels.setdefault(channel.dst, []).append(channel)
+
+    def can_reach(
+        self, node: NodeId, arrival: Optional[Direction], dest: NodeId
+    ) -> bool:
+        """Whether ``dest`` is reachable from ``node`` arriving via ``arrival``."""
+        if node == dest:
+            return True
+        return (node, arrival) in self._states_reaching(dest)
+
+    def _states_reaching(self, dest: NodeId) -> Set[State]:
+        cached = self._cache.get(dest)
+        if cached is not None:
+            return cached
+        # Reverse BFS: a state (u, d_in) reaches dest if some permitted
+        # next hop (u -> v via direction d) leads to a reaching state
+        # (v, d), or lands on dest directly.
+        reaching: Set[State] = set()
+        frontier: deque[State] = deque()
+        for channel in self._in_channels.get(dest, []):
+            # Any arrival state whose turn into this final hop is permitted
+            # reaches dest in one hop.
+            for arrival in self._arrivals(channel.src):
+                if self.restriction.permits(arrival, channel.direction):
+                    candidate = (channel.src, arrival)
+                    if candidate not in reaching:
+                        reaching.add(candidate)
+                        frontier.append(candidate)
+        while frontier:
+            node, arrival = frontier.popleft()
+            # Predecessor states: arriving at `node` in direction `arrival`
+            # means some channel with that direction enters node; its source
+            # may have arrived in any direction permitting the turn.
+            if arrival is None:
+                continue
+            for channel in self._in_channels.get(node, []):
+                if channel.direction != arrival:
+                    continue
+                for prev_arrival in self._arrivals(channel.src):
+                    if self.restriction.permits(prev_arrival, arrival):
+                        candidate = (channel.src, prev_arrival)
+                        if candidate not in reaching:
+                            reaching.add(candidate)
+                            frontier.append(candidate)
+        cached = reaching
+        self._cache[dest] = cached
+        return cached
+
+    def _arrivals(self, node: NodeId) -> list[Optional[Direction]]:
+        """Possible arrival directions at ``node`` (None = injected here)."""
+        arrivals: list[Optional[Direction]] = [None]
+        arrivals.extend(ch.direction for ch in self._in_channels.get(node, []))
+        return arrivals
+
+
+class TurnRestrictionRouting(RoutingAlgorithm):
+    """Routing that offers every channel with a permitted turn.
+
+    Args:
+        topology: the network to route on.
+        restriction: which turns are permitted.
+        minimal: when true (default) only shortest-path hops are offered;
+            when false, any permitted hop that keeps the destination
+            reachable is offered, productive hops first — the paper's
+            nonminimal mode, "more adaptive and fault tolerant".
+        name: optional label; defaults to the restriction's name.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        restriction: TurnRestriction,
+        minimal: bool = True,
+        name: str = "",
+    ):
+        super().__init__(topology)
+        if restriction.n_dims != topology.n_dims:
+            raise ValueError(
+                f"restriction is {restriction.n_dims}-dimensional but the "
+                f"topology has {topology.n_dims} dimensions"
+            )
+        self.restriction = restriction
+        self.minimal = minimal
+        self.name = name or restriction.name or "turn-table"
+        if not minimal:
+            self.name = f"{self.name}-nonminimal"
+        self._oracle = None if minimal else ReachabilityOracle(topology, restriction)
+        self._minimal_cache: Dict[Tuple[NodeId, Optional[Direction], NodeId], bool] = {}
+
+    def _minimal_reaches(
+        self, node: NodeId, arrival: Optional[Direction], dest: NodeId
+    ) -> bool:
+        """Whether a permitted all-productive path exists from this state.
+
+        Minimal routing must never take a hop into a state from which the
+        remaining shortest-path hops require a prohibited turn (e.g. a
+        north-last packet turning north while eastward hops remain could
+        never turn back east).  The recursion is over strictly decreasing
+        distance, so it terminates within the network diameter.
+        """
+        if node == dest:
+            return True
+        key = (node, arrival, dest)
+        cached = self._minimal_cache.get(key)
+        if cached is not None:
+            return cached
+        result = any(
+            self._minimal_reaches(channel.dst, channel.direction, dest)
+            for channel in self.productive_channels(node, dest)
+            if self.restriction.permits(arrival, channel.direction)
+        )
+        self._minimal_cache[key] = result
+        return result
+
+    def route(
+        self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
+    ) -> Sequence[Channel]:
+        arrival = self.in_direction(in_channel)
+        if self.minimal:
+            return tuple(
+                channel
+                for channel in self.productive_channels(node, dest)
+                if self.restriction.permits(arrival, channel.direction)
+                and self._minimal_reaches(channel.dst, channel.direction, dest)
+            )
+        assert self._oracle is not None
+        productive = set(self.topology.minimal_directions(node, dest))
+        allowed = [
+            channel
+            for channel in self.topology.out_channels(node)
+            if not channel.wraparound
+            and self.restriction.permits(arrival, channel.direction)
+            and self._oracle.can_reach(channel.dst, channel.direction, dest)
+        ]
+        first = [ch for ch in allowed if ch.direction in productive]
+        rest = [ch for ch in allowed if ch.direction not in productive]
+        return tuple(first + rest)

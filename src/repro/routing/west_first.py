@@ -1,0 +1,54 @@
+"""West-first routing for 2D meshes (Section 3.1).
+
+Route a packet first west, if necessary, and then adaptively south, east,
+and north.  The prohibited turns are the two to the west, so to travel west
+a packet must start out in that direction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.directions import WEST
+from repro.core.restrictions import west_first_restriction
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.turn_table import TurnRestrictionRouting
+from repro.topology.channels import Channel, NodeId
+from repro.topology.mesh import Mesh
+
+__all__ = ["WestFirstRouting", "west_first_nonminimal"]
+
+
+class WestFirstRouting(RoutingAlgorithm):
+    """Minimal west-first routing: west hops first, then adaptive S/E/N."""
+
+    name = "west-first"
+    minimal = True
+
+    def __init__(self, topology: Mesh):
+        if topology.n_dims != 2:
+            raise ValueError("west-first routing is defined for 2D meshes")
+        super().__init__(topology)
+
+    def route(
+        self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
+    ) -> Sequence[Channel]:
+        if dest[0] < node[0]:
+            # The destination is to the west: all westward hops come first.
+            channel = self.topology.channel_in_direction(node, WEST)
+            return (channel,) if channel is not None else ()
+        # Otherwise route adaptively among the productive directions, none
+        # of which is west.
+        return tuple(self.productive_channels(node, dest))
+
+
+def west_first_nonminimal(topology: Mesh) -> TurnRestrictionRouting:
+    """Nonminimal west-first: any permitted turn that keeps dest reachable.
+
+    Figure 5b's alternative paths around blocked channels come from this
+    mode; it is built on the generic turn-table router with the west-first
+    restriction (including the safe west-to-east reversal of Step 6).
+    """
+    return TurnRestrictionRouting(
+        topology, west_first_restriction(), minimal=False, name="west-first"
+    )

@@ -1,0 +1,27 @@
+"""Flit-level wormhole network simulator (the Section 6 substrate)."""
+
+from repro.sim.config import FLITS_PER_USEC, SimulationConfig
+from repro.sim.engine import RoutingError, WormholeSimulator
+from repro.sim.packet import Packet
+from repro.sim.resources import EJECTION, INJECTION, NETWORK, ChannelState
+from repro.sim.simulator import simulate
+from repro.sim.stats import SimulationResult, StatsCollector, percentile
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "SimulationConfig",
+    "FLITS_PER_USEC",
+    "WormholeSimulator",
+    "RoutingError",
+    "Packet",
+    "ChannelState",
+    "NETWORK",
+    "INJECTION",
+    "EJECTION",
+    "simulate",
+    "SimulationResult",
+    "StatsCollector",
+    "percentile",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,89 @@
+"""Simulation configuration.
+
+Defaults reproduce the Section 6 setup: one-flit input buffers, equal
+channel bandwidths of 20 flits/usec (one cycle = one flit time = 0.05
+usec), local first-come-first-served input selection, the xy output
+selection policy, and minimal routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.routing.selection import (
+    FCFSInputSelection,
+    InputSelectionPolicy,
+    OutputSelectionPolicy,
+    XYSelection,
+)
+
+__all__ = ["SimulationConfig", "FLITS_PER_USEC"]
+
+#: Channel bandwidth of the paper's networks, in flits per microsecond.
+FLITS_PER_USEC = 20.0
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs for one simulation run.
+
+    Attributes:
+        buffer_depth: flit buffer per input channel (paper: 1).
+        warmup_cycles: cycles discarded before measurement begins.
+        measure_cycles: length of the measurement window.
+        drain_cycles: extra cycles after the window so packets created
+            inside it can finish and contribute latency samples.
+        output_policy: output selection policy (paper: xy).
+        input_policy: input selection policy (paper: local FCFS).
+        routing_delay_cycles: cycles a router takes to make a routing
+            decision for a header, at least 1 (the default, matching the
+            paper's single-flit-time node delay).  Section 7 notes that
+            adaptive routing "can require more complex control logic for
+            route selection ... and this may increase node delay"; raise
+            this to model slower route selection (the node-delay ablation
+            benchmark sweeps it).
+        deadlock_threshold: cycles without any flit movement, while
+            packets are in flight, before the run is declared deadlocked.
+        flits_per_usec: channel bandwidth used to convert cycles to
+            microseconds.
+        seed: RNG seed for the selection policies' randomness (the
+            workload carries its own seed).
+        max_packets: optional hard cap on injected packets, for bounded
+            unit tests; ``None`` means unlimited.
+    """
+
+    buffer_depth: int = 1
+    warmup_cycles: int = 2_000
+    measure_cycles: int = 10_000
+    drain_cycles: int = 4_000
+    output_policy: OutputSelectionPolicy = field(default_factory=XYSelection)
+    input_policy: InputSelectionPolicy = field(default_factory=FCFSInputSelection)
+    routing_delay_cycles: int = 1
+    deadlock_threshold: int = 2_000
+    flits_per_usec: float = FLITS_PER_USEC
+    seed: int = 1
+    max_packets: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.buffer_depth < 1:
+            raise ValueError(f"buffer depth must be >= 1: {self.buffer_depth}")
+        if min(self.warmup_cycles, self.measure_cycles, self.drain_cycles) < 0:
+            raise ValueError("cycle counts must be non-negative")
+        if self.measure_cycles == 0:
+            raise ValueError("measurement window must be non-empty")
+        if self.routing_delay_cycles < 1:
+            raise ValueError(
+                f"routing delay must be at least 1 cycle: {self.routing_delay_cycles}"
+            )
+        if self.flits_per_usec <= 0:
+            raise ValueError(f"bandwidth must be positive: {self.flits_per_usec}")
+
+    @property
+    def total_cycles(self) -> int:
+        """Total cycles simulated."""
+        return self.warmup_cycles + self.measure_cycles + self.drain_cycles
+
+    @property
+    def cycle_time_usec(self) -> float:
+        """Duration of one cycle (one flit time) in microseconds."""
+        return 1.0 / self.flits_per_usec

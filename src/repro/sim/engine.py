@@ -1,0 +1,426 @@
+"""The flit-level wormhole network simulator (Section 6).
+
+One simulator cycle is one flit time: every channel has the same bandwidth
+and the routers synchronize to transmit the flits in a packet, exactly the
+paper's setup with the asynchronous skew abstracted away.  Each cycle has
+two phases:
+
+1. **Allocation** — headers waiting at routers request output channels.
+   The routing algorithm supplies the candidates, the input selection
+   policy (local FCFS by default) orders competing headers, and the
+   output selection policy (xy by default) picks among the free
+   candidates.  A granted channel is held by the packet until its tail
+   flit leaves it — wormhole flow control.
+
+2. **Movement** — flits advance along each packet's chain of held
+   channels, front to back, one flit per channel per cycle; processing
+   the chain front-first lets a draining packet move every flit in the
+   same cycle, giving full-rate pipelining with single-flit buffers.
+   Messages blocked from entering the network wait in unbounded source
+   queues; flits reaching the destination's ejection channel are consumed
+   immediately.
+
+A watchdog flags deadlock when no flit moves for a configurable number of
+cycles while packets are in flight — routing algorithms from the turn
+model never trigger it, and the Figure 1/Figure 4 demonstrations do.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.selection import SelectionContext
+from repro.sim.config import SimulationConfig
+from repro.sim.packet import Packet
+from repro.sim.resources import EJECTION, INJECTION, NETWORK, ChannelState
+from repro.sim.stats import SimulationResult, StatsCollector, percentile
+from repro.sim.trace import TraceRecorder
+from repro.topology.channels import Channel, NodeId
+from repro.traffic.workload import Workload
+
+__all__ = ["WormholeSimulator", "RoutingError"]
+
+
+class RoutingError(RuntimeError):
+    """The routing algorithm offered no candidates for a reachable state."""
+
+
+class WormholeSimulator:
+    """Simulates one workload on one topology with one routing algorithm."""
+
+    def __init__(
+        self,
+        routing: RoutingAlgorithm,
+        workload: Workload,
+        config: Optional[SimulationConfig] = None,
+        preload: Optional[List[Tuple[NodeId, NodeId, int, float]]] = None,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        """
+        Args:
+            routing: the routing algorithm (also supplies the topology).
+            workload: message generation (pattern, sizes, rate, seed).
+            config: simulator knobs; defaults reproduce Section 6.
+            preload: messages queued before the run starts, as
+                (source, destination, size, create_time) tuples — handy
+                for deterministic unit tests and staged demonstrations
+                (combine with ``offered_load=0`` for a closed workload).
+            trace: optional :class:`~repro.sim.trace.TraceRecorder`
+                capturing packet-level events (grants, deliveries, ...).
+        """
+        self.topology = routing.topology
+        if workload.pattern.topology is not self.topology:
+            if workload.pattern.topology.shape != self.topology.shape:
+                raise ValueError(
+                    "workload and routing algorithm use different topologies"
+                )
+        self.routing = routing
+        self.workload = workload
+        self.config = config or SimulationConfig()
+        self.trace = trace
+
+        depth = self.config.buffer_depth
+        self._net_states: Dict[Channel, ChannelState] = {
+            ch: ChannelState(NETWORK, depth, channel=ch)
+            for ch in self.topology.channels()
+        }
+        self._inj_states: Dict[NodeId, ChannelState] = {}
+        self._ej_states: Dict[NodeId, ChannelState] = {}
+        for node in self.topology.nodes():
+            self._inj_states[node] = ChannelState(INJECTION, depth, node=node)
+            self._ej_states[node] = ChannelState(EJECTION, depth, node=node)
+
+        self._sources = workload.sources()
+        self._queues: List[Deque[Tuple[NodeId, int, float]]] = [
+            deque() for _ in self._sources
+        ]
+        self._context = SelectionContext(
+            free_space=self._free_space, rng=random.Random(self.config.seed)
+        )
+        self._active: List[Packet] = []
+        self._waiters: List[Packet] = []
+        self._messages_created = 0
+        self._preload_count = 0
+        if preload:
+            index = {src.node: q for src, q in zip(self._sources, self._queues)}
+            for src, dest, size, create_time in preload:
+                self.topology.validate_node(src)
+                self.topology.validate_node(dest)
+                if src == dest:
+                    raise ValueError(f"preloaded message sends {src} to itself")
+                index[src].append((dest, size, create_time))
+                self._messages_created += 1
+                self._preload_count += 1
+        self._next_pid = 0
+        self._total_injected = 0
+        self._total_delivered = 0
+        self._last_progress = 0
+        self._deadlocked = False
+        self.cycle = 0
+        # Virtual channels: lanes share their physical link's bandwidth
+        # (one flit per cycle per physical channel, Section 1).  The
+        # stall-skipping optimization is disabled when lanes contend,
+        # since a packet blocked by the *other* lane's flit can resume
+        # without any allocation event.
+        self._multilane = any(ch.lane != 0 for ch in self.topology.channels())
+        self._phy_used: set = set()
+
+    # ------------------------------------------------------------------
+    # Resource helpers
+
+    def _free_space(self, channel: Channel) -> int:
+        return self._net_states[channel].free_space
+
+    def occupancy_snapshot(self) -> int:
+        """Total flits currently buffered in the network (for tests)."""
+        total = sum(s.count for s in self._net_states.values())
+        total += sum(s.count for s in self._inj_states.values())
+        total += sum(s.count for s in self._ej_states.values())
+        return total
+
+    # ------------------------------------------------------------------
+    # Phase 0: message generation and injection-channel allocation
+
+    def _generate(self, stats: StatsCollector) -> None:
+        cap = self.config.max_packets
+        for source, queue in zip(self._sources, self._queues):
+            for dest, size, create_time in source.poll(self.cycle):
+                if cap is not None and self._messages_created >= cap:
+                    return
+                self._messages_created += 1
+                queue.append((dest, size, create_time))
+                stats.record_created(create_time, size)
+
+    def _start_packets(self) -> None:
+        for source, queue in zip(self._sources, self._queues):
+            if not queue:
+                continue
+            inj = self._inj_states[source.node]
+            if inj.owner is not None:
+                continue
+            dest, size, create_time = queue.popleft()
+            packet = Packet(self._next_pid, source.node, dest, size, create_time)
+            self._next_pid += 1
+            inj.owner = packet
+            packet.path.append(inj)
+            packet.occupancy.append(0)
+            self._active.append(packet)
+            self._total_injected += 1
+            self._last_progress = self.cycle
+            if self.trace is not None:
+                self.trace.record(
+                    self.cycle, "injected", packet.pid, (source.node, dest)
+                )
+
+    # ------------------------------------------------------------------
+    # Phase 1: routing and channel allocation
+
+    def _candidates_for(self, packet: Packet) -> Tuple[ChannelState, ...]:
+        front = packet.path[-1]
+        node = front.destination_node()
+        if node == packet.dest:
+            return (self._ej_states[node],)
+        in_channel = front.channel  # None for the injection channel
+        channels = self.routing.route(in_channel, node, packet.dest)
+        if not channels:
+            raise RoutingError(
+                f"{self.routing.name} offered no route for {packet!r} at {node} "
+                f"(arrived via {in_channel})"
+            )
+        return tuple(self._net_states[ch] for ch in channels)
+
+    def _allocate(self) -> None:
+        if not self._waiters:
+            return
+        context = self._context
+        policy = self.config.input_policy
+        delay = self.config.routing_delay_cycles
+        order = sorted(
+            self._waiters,
+            key=lambda p: (*policy.priority(p.waiting_since, context), p.pid),
+        )
+        still_waiting: List[Packet] = []
+        for packet in order:
+            if self.cycle - packet.waiting_since < delay:
+                # The router is still computing this header's route
+                # (routing_delay_cycles > 1 models slower selection logic).
+                still_waiting.append(packet)
+                continue
+            if packet.pending_candidates is None:
+                packet.pending_candidates = self._candidates_for(packet)
+            free = [s for s in packet.pending_candidates if s.owner is None]
+            if not free:
+                still_waiting.append(packet)
+                continue
+            if len(free) == 1 or free[0].kind == EJECTION:
+                chosen = free[0]
+            else:
+                by_channel = {s.channel: s for s in free}
+                pick = self.config.output_policy.select(
+                    list(by_channel), context
+                )
+                chosen = by_channel[pick]
+            chosen.owner = packet
+            packet.path.append(chosen)
+            packet.occupancy.append(0)
+            packet.header_present = False
+            packet.pending_candidates = None
+            packet.stalled = False
+            if chosen.kind == EJECTION:
+                packet.route_complete = True
+            else:
+                packet.hops += 1
+            self._last_progress = self.cycle
+            if self.trace is not None:
+                if chosen.kind == EJECTION:
+                    self.trace.record(
+                        self.cycle, "eject-granted", packet.pid, chosen.node
+                    )
+                else:
+                    self.trace.record(
+                        self.cycle, "granted", packet.pid, chosen.channel
+                    )
+        self._waiters = still_waiting
+
+    # ------------------------------------------------------------------
+    # Phase 2: flit movement
+
+    def _move(self, packet: Packet, stats: StatsCollector) -> bool:
+        path = packet.path
+        occ = packet.occupancy
+        moved = False
+        # Consume at the destination processor: one flit per cycle off the
+        # ejection buffer ("messages that arrive ... are immediately
+        # consumed").
+        if packet.route_complete and occ[-1] > 0:
+            occ[-1] -= 1
+            path[-1].count -= 1
+            packet.flits_consumed += 1
+            stats.record_flit_consumed(self.cycle)
+            moved = True
+        # Advance flits across each held channel, front boundary first, so
+        # a slot freed downstream is reusable upstream in the same cycle.
+        front_index = len(path) - 1
+        multilane = self._multilane
+        for i in range(front_index, 0, -1):
+            downstream = path[i]
+            if occ[i - 1] > 0 and downstream.count < downstream.capacity:
+                if multilane and downstream.kind == NETWORK:
+                    physical = downstream.channel.physical
+                    if physical in self._phy_used:
+                        continue
+                    self._phy_used.add(physical)
+                occ[i - 1] -= 1
+                path[i - 1].count -= 1
+                occ[i] += 1
+                downstream.count += 1
+                moved = True
+                if (
+                    i == front_index
+                    and not packet.header_present
+                    and not packet.route_complete
+                ):
+                    self._header_arrived(packet)
+        # Inject the next flit from the source queue into the injection
+        # buffer (the packet owns its injection channel until fully
+        # injected).
+        if packet.remaining_to_inject > 0:
+            rear = path[0]
+            if rear.count < rear.capacity:
+                occ[0] += 1
+                rear.count += 1
+                packet.remaining_to_inject -= 1
+                moved = True
+                if packet.inject_cycle is None:
+                    packet.inject_cycle = self.cycle
+                    self._header_arrived(packet)
+        # Release channels the tail has fully passed.
+        while len(path) > 1 and occ[0] == 0:
+            rear = path[0]
+            if rear.kind == INJECTION and packet.remaining_to_inject > 0:
+                break
+            rear.owner = None
+            path.pop(0)
+            occ.pop(0)
+        if not moved and not packet.route_complete and not self._multilane:
+            packet.stalled = True
+        return moved
+
+    def _header_arrived(self, packet: Packet) -> None:
+        packet.header_present = True
+        packet.waiting_since = self.cycle
+        packet.pending_candidates = None
+        self._waiters.append(packet)
+
+    def _finish(self, packet: Packet, stats: StatsCollector) -> None:
+        # Once every flit is consumed the held buffers are empty; just
+        # release the channels (normally only the ejection channel remains).
+        for state in packet.path:
+            state.owner = None
+        packet.path.clear()
+        packet.occupancy.clear()
+        self._total_delivered += 1
+        if self.trace is not None:
+            self.trace.record(self.cycle, "delivered", packet.pid, packet.dest)
+        stats.record_packet_done(
+            packet.create_time, packet.inject_cycle, self.cycle, packet.hops,
+            size=packet.size,
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+
+    def run(self) -> SimulationResult:
+        """Run the configured number of cycles and return the results."""
+        config = self.config
+        stats = StatsCollector(
+            config.warmup_cycles, config.warmup_cycles + config.measure_cycles
+        )
+        window_end = config.warmup_cycles + config.measure_cycles
+        for self.cycle in range(config.total_cycles):
+            self._context.cycle = self.cycle
+            if self.cycle == config.warmup_cycles:
+                stats.queue_len_at_window_start = self._total_queued()
+            if self.cycle == window_end:
+                stats.queue_len_at_window_end = self._total_queued()
+            self._generate(stats)
+            self._start_packets()
+            self._allocate()
+            if self._multilane:
+                self._phy_used.clear()
+                if len(self._active) > 1:
+                    # Rotate processing order so no packet systematically
+                    # wins the physical-bandwidth race between lanes.
+                    self._active.append(self._active.pop(0))
+            any_moved = False
+            finished: List[Packet] = []
+            for packet in self._active:
+                if packet.stalled:
+                    continue
+                if self._move(packet, stats):
+                    any_moved = True
+                if packet.done:
+                    finished.append(packet)
+            if finished:
+                for packet in finished:
+                    self._finish(packet, stats)
+                self._active = [p for p in self._active if not p.done]
+            if any_moved:
+                self._last_progress = self.cycle
+            elif (
+                self._active
+                and self.cycle - self._last_progress >= config.deadlock_threshold
+            ):
+                self._deadlocked = True
+                if self.trace is not None:
+                    self.trace.record(self.cycle, "deadlock", -1)
+                break
+            if (
+                config.max_packets is not None
+                and self._messages_created >= config.max_packets
+                and not self._active
+                and self._total_queued() == 0
+            ):
+                break
+        if stats.queue_len_at_window_start is None:
+            stats.queue_len_at_window_start = self._total_queued()
+        if stats.queue_len_at_window_end is None:
+            stats.queue_len_at_window_end = self._total_queued()
+        return self._result(stats)
+
+    def _total_queued(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    def _result(self, stats: StatsCollector) -> SimulationResult:
+        latencies = stats.latencies_cycles
+        hops = stats.hops
+        delays = stats.queue_delays_cycles
+        by_size = {
+            size: sum(values) / len(values)
+            for size, values in sorted(stats.latencies_by_size.items())
+        }
+        return SimulationResult(
+            offered_load=self.workload.offered_load,
+            cycle_time_usec=self.config.cycle_time_usec,
+            num_nodes=self.topology.num_nodes,
+            avg_latency_cycles=sum(latencies) / len(latencies) if latencies else 0.0,
+            latency_samples=len(latencies),
+            measured_created=stats.measured_created,
+            delivered_flits=stats.flits_delivered_in_window,
+            offered_flits=stats.offered_flits_in_window,
+            measure_cycles=self.config.measure_cycles,
+            avg_hops=sum(hops) / len(hops) if hops else 0.0,
+            avg_queue_delay_cycles=sum(delays) / len(delays) if delays else 0.0,
+            queue_start=stats.queue_len_at_window_start or 0,
+            queue_end=stats.queue_len_at_window_end or 0,
+            deadlocked=self._deadlocked,
+            total_injected=self._total_injected,
+            total_delivered=self._total_delivered,
+            p50_latency_cycles=percentile(latencies, 0.50),
+            p95_latency_cycles=percentile(latencies, 0.95),
+            max_latency_cycles=max(latencies) if latencies else 0.0,
+            latency_by_size_cycles=by_size,
+        )

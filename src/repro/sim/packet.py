@@ -1,0 +1,113 @@
+"""Packets in flight.
+
+Wormhole routing divides messages into packets and packets into flits; the
+header flits lead the packet through the network and the remaining flits
+follow in a pipeline (Section 1).  The paper's workload sends one-packet
+messages, so the simulator's unit of bookkeeping is the packet.
+
+Rather than materializing a Python object per flit, a packet records the
+chain of channels it currently occupies (``path``) and how many of its
+flits sit in each channel's buffer (``occupancy``).  Wormhole flow control
+moves flits only forward along this chain, one flit per channel per cycle,
+so counts are a lossless representation; it is also what makes the
+simulator fast enough for 256-node networks in pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.topology.channels import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.resources import ChannelState
+
+__all__ = ["Packet"]
+
+
+class Packet:
+    """One packet travelling from ``src`` to ``dest``.
+
+    Attributes:
+        pid: unique id, in injection order.
+        src, dest: endpoint nodes.
+        size: length in flits.
+        create_time: simulation time (cycles, fractional) the message was
+            generated at its source processor.
+        inject_cycle: cycle the header flit entered the injection buffer.
+        path: channel states currently held, source end first.
+        occupancy: flits of this packet buffered in each held channel.
+        remaining_to_inject: flits still waiting at the source.
+        flits_consumed: flits delivered to the destination processor.
+        header_present: the header flit sits in ``path[-1]``'s buffer and
+            the packet needs (or is waiting for) its next channel.
+        waiting_since: cycle the header arrived at the current router —
+            the key for local first-come-first-served arbitration.
+        route_complete: the ejection channel has been allocated; no
+            further routing decisions remain.
+        stalled: no internal movement is possible until the next grant;
+            lets the engine skip the packet's movement pass.
+        pending_candidates: cached routing candidates for the current
+            router, computed once per router visit.
+        hops: network channels traversed by the header so far.
+    """
+
+    __slots__ = (
+        "pid",
+        "src",
+        "dest",
+        "size",
+        "create_time",
+        "inject_cycle",
+        "path",
+        "occupancy",
+        "remaining_to_inject",
+        "flits_consumed",
+        "header_present",
+        "waiting_since",
+        "route_complete",
+        "stalled",
+        "pending_candidates",
+        "hops",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        src: NodeId,
+        dest: NodeId,
+        size: int,
+        create_time: float,
+    ):
+        self.pid = pid
+        self.src = src
+        self.dest = dest
+        self.size = size
+        self.create_time = create_time
+        self.inject_cycle: Optional[int] = None
+        self.path: List["ChannelState"] = []
+        self.occupancy: List[int] = []
+        self.remaining_to_inject = size
+        self.flits_consumed = 0
+        self.header_present = False
+        self.waiting_since = 0
+        self.route_complete = False
+        self.stalled = False
+        self.pending_candidates = None
+        self.hops = 0
+
+    @property
+    def done(self) -> bool:
+        """Whether every flit has been consumed at the destination."""
+        return self.flits_consumed >= self.size
+
+    @property
+    def flits_in_network(self) -> int:
+        """Flits currently buffered in channels the packet holds."""
+        return sum(self.occupancy)
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(#{self.pid}, {self.src}->{self.dest}, size={self.size}, "
+            f"consumed={self.flits_consumed})"
+        )

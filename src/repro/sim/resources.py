@@ -1,0 +1,86 @@
+"""Channel states: the network resources packets hold and contend for.
+
+Each unidirectional channel has a flit buffer at its receiving end — the
+paper's routers buffer a single flit per input channel (Section 6) — and,
+under wormhole flow control, an owner: the packet whose header was granted
+the channel, which holds it until its tail flit moves on.
+
+Besides the network channels of the topology, every node has an injection
+channel (processor to router) and an ejection channel (router to
+processor), matching the paper's "pair of unidirectional channels connects
+... each router to its local processor".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.topology.channels import Channel, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.packet import Packet
+
+__all__ = ["ChannelState", "NETWORK", "INJECTION", "EJECTION"]
+
+#: Channel kinds.
+NETWORK = "network"
+INJECTION = "injection"
+EJECTION = "ejection"
+
+
+class ChannelState:
+    """Run-time state of one channel: its buffer fill and its owner.
+
+    Attributes:
+        kind: ``NETWORK``, ``INJECTION``, or ``EJECTION``.
+        channel: the topology channel (``None`` for injection/ejection).
+        node: for injection/ejection channels, the node they serve.
+        capacity: buffer depth in flits (the paper uses 1).
+        count: flits currently buffered.
+        owner: packet holding the channel, or ``None`` if free.
+    """
+
+    __slots__ = ("kind", "channel", "node", "capacity", "count", "owner")
+
+    def __init__(
+        self,
+        kind: str,
+        capacity: int,
+        channel: Optional[Channel] = None,
+        node: Optional[NodeId] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"buffer capacity must be at least 1, got {capacity}")
+        if kind == NETWORK and channel is None:
+            raise ValueError("network channel states need a topology channel")
+        if kind in (INJECTION, EJECTION) and node is None:
+            raise ValueError(f"{kind} channel states need a node")
+        self.kind = kind
+        self.channel = channel
+        self.node = node
+        self.capacity = capacity
+        self.count = 0
+        self.owner: Optional["Packet"] = None
+
+    @property
+    def free_space(self) -> int:
+        """Free flit slots in the buffer."""
+        return self.capacity - self.count
+
+    @property
+    def is_free(self) -> bool:
+        """Whether the channel can be allocated to a new packet."""
+        return self.owner is None
+
+    def destination_node(self) -> NodeId:
+        """The node a flit is at after crossing this channel."""
+        if self.kind == NETWORK:
+            assert self.channel is not None
+            return self.channel.dst
+        assert self.node is not None
+        return self.node
+
+    def __repr__(self) -> str:
+        where = self.channel if self.kind == NETWORK else self.node
+        owner = f" owner=#{self.owner.pid}" if self.owner else ""
+        return f"ChannelState({self.kind} {where}, {self.count}/{self.capacity}{owner})"

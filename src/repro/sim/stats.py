@@ -1,0 +1,216 @@
+"""Measurement: latency and throughput statistics (Section 6).
+
+The paper reports two characteristics per run: average communication
+latency in microseconds and average network throughput in flits delivered
+per microsecond, with throughput called *sustainable* when source queues
+stay small and bounded.  :class:`StatsCollector` gathers the raw events
+and :class:`SimulationResult` exposes the derived figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["StatsCollector", "SimulationResult", "percentile"]
+
+
+class StatsCollector:
+    """Accumulates events during a run.
+
+    Only packets *created* inside the measurement window contribute
+    latency samples; all flit consumptions inside the window count toward
+    throughput (standard warmup discipline).
+    """
+
+    def __init__(self, window_start: int, window_end: int):
+        self.window_start = window_start
+        self.window_end = window_end
+        self.latencies_cycles: List[float] = []
+        self.hops: List[int] = []
+        self.queue_delays_cycles: List[float] = []
+        self.latencies_by_size: dict[int, List[float]] = {}
+        self.flits_delivered_in_window = 0
+        self.packets_delivered_in_window = 0
+        self.offered_flits_in_window = 0
+        self.measured_created = 0
+        self.queue_len_at_window_start: Optional[int] = None
+        self.queue_len_at_window_end: Optional[int] = None
+
+    def in_window(self, time: float) -> bool:
+        return self.window_start <= time < self.window_end
+
+    def record_created(self, create_time: float, size: int) -> None:
+        if self.in_window(create_time):
+            self.offered_flits_in_window += size
+            self.measured_created += 1
+
+    def record_flit_consumed(self, cycle: int) -> None:
+        if self.in_window(cycle):
+            self.flits_delivered_in_window += 1
+
+    def record_packet_done(
+        self,
+        create_time: float,
+        inject_cycle: Optional[int],
+        finish_cycle: int,
+        hops: int,
+        size: Optional[int] = None,
+    ) -> None:
+        if self.in_window(finish_cycle):
+            self.packets_delivered_in_window += 1
+        if self.in_window(create_time):
+            latency = finish_cycle - create_time
+            self.latencies_cycles.append(latency)
+            self.hops.append(hops)
+            if size is not None:
+                self.latencies_by_size.setdefault(size, []).append(latency)
+            if inject_cycle is not None:
+                self.queue_delays_cycles.append(inject_cycle - create_time)
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """The ``fraction`` percentile of ``values`` (nearest-rank).
+
+    Args:
+        values: samples; may be unsorted.  Empty input yields 0.0.
+        fraction: in [0, 1], e.g. 0.95 for the 95th percentile.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1]: {fraction}")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    Attributes:
+        offered_load: requested per-node injection rate (flits per node
+            per cycle) of the workload.
+        cycle_time_usec: conversion factor from cycles to microseconds.
+        num_nodes: network size, for per-node normalizations.
+        avg_latency_cycles: mean packet latency (creation to last flit
+            consumed) over measured packets, in cycles.
+        latency_samples: number of measured packets delivered.
+        measured_created: packets created inside the window.
+        delivered_flits: flits consumed inside the window.
+        offered_flits: flits of messages created inside the window.
+        measure_cycles: window length in cycles.
+        avg_hops: mean hop count of measured packets.
+        avg_queue_delay_cycles: mean source-queueing delay of measured
+            packets.
+        queue_start, queue_end: total source-queue length (packets) at
+            the window boundaries — the boundedness signal for
+            sustainability.
+        deadlocked: the run was aborted by the deadlock detector.
+        total_injected: packets injected over the whole run.
+        total_delivered: packets fully consumed over the whole run.
+    """
+
+    offered_load: float
+    cycle_time_usec: float
+    num_nodes: int
+    avg_latency_cycles: float
+    latency_samples: int
+    measured_created: int
+    delivered_flits: int
+    offered_flits: int
+    measure_cycles: int
+    avg_hops: float
+    avg_queue_delay_cycles: float
+    queue_start: int
+    queue_end: int
+    deadlocked: bool
+    total_injected: int
+    total_delivered: int
+    #: Median measured latency (cycles); 0 when no samples.
+    p50_latency_cycles: float = 0.0
+    #: 95th-percentile measured latency (cycles).
+    p95_latency_cycles: float = 0.0
+    #: Worst measured latency (cycles).
+    max_latency_cycles: float = 0.0
+    #: Mean latency (cycles) per packet size, for bimodal workloads.
+    latency_by_size_cycles: dict = field(default_factory=dict)
+
+    @property
+    def avg_latency_usec(self) -> float:
+        """Average communication latency in microseconds."""
+        return self.avg_latency_cycles * self.cycle_time_usec
+
+    @property
+    def p95_latency_usec(self) -> float:
+        """95th-percentile communication latency in microseconds."""
+        return self.p95_latency_cycles * self.cycle_time_usec
+
+    @property
+    def p50_latency_usec(self) -> float:
+        """Median communication latency in microseconds."""
+        return self.p50_latency_cycles * self.cycle_time_usec
+
+    @property
+    def throughput_flits_per_usec(self) -> float:
+        """Network throughput in flits delivered per microsecond."""
+        window_usec = self.measure_cycles * self.cycle_time_usec
+        return self.delivered_flits / window_usec
+
+    @property
+    def throughput_fraction(self) -> float:
+        """Delivered flits per node per cycle (fraction of capacity)."""
+        return self.delivered_flits / (self.measure_cycles * self.num_nodes)
+
+    @property
+    def offered_flits_per_usec(self) -> float:
+        """Offered load in flits per microsecond, network-wide."""
+        window_usec = self.measure_cycles * self.cycle_time_usec
+        return self.offered_flits / window_usec
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Delivered over offered flits in the window (1.0 = keeping up)."""
+        if self.offered_flits == 0:
+            return 1.0
+        return self.delivered_flits / self.offered_flits
+
+    @property
+    def queue_growth(self) -> int:
+        """Source-queue growth across the window (packets)."""
+        return self.queue_end - self.queue_start
+
+    def is_sustainable(
+        self, acceptance_floor: float = 0.85, queue_slack: float = 0.05
+    ) -> bool:
+        """The paper's criterion: source queues small and bounded.
+
+        Queue growth across the measurement window is the primary signal
+        (at saturation it grows linearly with the excess offered load);
+        the acceptance ratio is a secondary guard against windows too
+        short for the queues to build up.
+
+        Args:
+            acceptance_floor: minimum delivered/offered flit ratio.
+            queue_slack: tolerated queue growth, as a fraction of the
+                packets created in the window.
+        """
+        if self.deadlocked:
+            return False
+        if self.acceptance_ratio < acceptance_floor:
+            return False
+        allowed = max(4, queue_slack * max(1, self.measured_created))
+        return self.queue_growth <= allowed
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "DEADLOCK" if self.deadlocked else (
+            "sustainable" if self.is_sustainable() else "saturated"
+        )
+        return (
+            f"load={self.offered_load:.3f} "
+            f"thru={self.throughput_flits_per_usec:.1f} flits/us "
+            f"lat={self.avg_latency_usec:.2f} us "
+            f"accept={self.acceptance_ratio:.2f} [{status}]"
+        )

@@ -1,0 +1,88 @@
+"""Event tracing for the simulator.
+
+A :class:`TraceRecorder` passed to :class:`~repro.sim.engine
+.WormholeSimulator` records the packet-level events of a run — creation,
+injection, every channel grant, completion, and deadlock — with a hard
+cap so a saturated run cannot exhaust memory.  Traces make routing
+behavior inspectable ("which path did packet 17 actually take?") and
+power the path-replay assertions in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+#: Event kinds.
+CREATED = "created"
+INJECTED = "injected"
+GRANTED = "granted"
+EJECT_GRANTED = "eject-granted"
+DELIVERED = "delivered"
+DEADLOCK = "deadlock"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    Attributes:
+        cycle: simulation cycle of the event.
+        kind: one of ``created``, ``injected``, ``granted``,
+            ``eject-granted``, ``delivered``, ``deadlock``.
+        pid: packet id (-1 for network-wide events).
+        detail: event-specific payload — the granted channel, the
+            (source, destination) pair, etc.
+    """
+
+    cycle: int
+    kind: str
+    pid: int
+    detail: object = None
+
+    def __str__(self) -> str:
+        return f"[{self.cycle:6d}] #{self.pid} {self.kind} {self.detail or ''}"
+
+
+class TraceRecorder:
+    """Collects trace events up to a cap.
+
+    Args:
+        max_events: recording stops (and ``truncated`` is set) once this
+            many events are stored.
+    """
+
+    def __init__(self, max_events: int = 100_000):
+        if max_events < 1:
+            raise ValueError(f"max_events must be positive: {max_events}")
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.truncated = False
+
+    def record(self, cycle: int, kind: str, pid: int, detail=None) -> None:
+        """Store one event (drops silently once the cap is hit)."""
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        self.events.append(TraceEvent(cycle, kind, pid, detail))
+
+    def for_packet(self, pid: int) -> List[TraceEvent]:
+        """The events of one packet, in order."""
+        return [event for event in self.events if event.pid == pid]
+
+    def path_of(self, pid: int) -> list:
+        """The channels granted to a packet, in traversal order."""
+        return [
+            event.detail
+            for event in self.events
+            if event.pid == pid and event.kind == GRANTED
+        ]
+
+    def kinds(self) -> List[str]:
+        """The sequence of event kinds (handy for assertions)."""
+        return [event.kind for event in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)

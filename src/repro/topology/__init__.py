@@ -1,0 +1,28 @@
+"""Network topologies: n-dimensional meshes, k-ary n-cubes, hypercubes."""
+
+from repro.topology.base import Topology
+from repro.topology.channels import Channel, NodeId
+from repro.topology.faults import FaultyTopology, random_channel_faults
+from repro.topology.hexagonal import HexMesh
+from repro.topology.octagonal import OctMesh
+from repro.topology.hypercube import Hypercube, bits_to_node, node_to_bits
+from repro.topology.mesh import Mesh, Mesh2D
+from repro.topology.torus import Torus
+from repro.topology.virtual import VirtualChannelTopology
+
+__all__ = [
+    "Topology",
+    "Channel",
+    "NodeId",
+    "FaultyTopology",
+    "random_channel_faults",
+    "HexMesh",
+    "OctMesh",
+    "Mesh",
+    "Mesh2D",
+    "Torus",
+    "VirtualChannelTopology",
+    "Hypercube",
+    "node_to_bits",
+    "bits_to_node",
+]

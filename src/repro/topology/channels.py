@@ -1,0 +1,62 @@
+"""Nodes and directed channels of a direct network.
+
+A node is identified by its coordinate tuple, as in the paper's formal
+definition of an n-dimensional mesh.  A *channel* is a unidirectional link
+from one router to a neighboring router; the paper's networks connect each
+pair of neighbors with a pair of unidirectional channels (Section 6).
+
+Each channel carries the virtual *direction* in which it routes packets
+(Step 1 of the turn model partitions channels by this direction).  For
+wraparound channels of a k-ary n-cube the classification is a routing-policy
+choice — Section 4.2 classifies the wraparound channel leaving the east edge
+as a channel *to the west* — so the direction stored on a wraparound channel
+is the virtual direction assigned by the topology builder, not necessarily
+the sign of the coordinate arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.directions import Direction
+
+__all__ = ["NodeId", "Channel"]
+
+#: A node identifier: the node's coordinate tuple.
+NodeId = Tuple[int, ...]
+
+
+@dataclass(frozen=True, order=True)
+class Channel:
+    """A unidirectional channel from ``src`` to ``dst``.
+
+    Attributes:
+        src: coordinates of the router the channel leaves.
+        dst: coordinates of the router the channel enters.
+        direction: the virtual direction in which the channel routes
+            packets (used to classify turns).
+        wraparound: whether this is a torus wraparound channel.  The turn
+            model handles wraparound channels separately (Step 5).
+        lane: virtual-channel index.  Plain topologies use lane 0; a
+            :class:`~repro.topology.virtual.VirtualChannelTopology`
+            multiplexes several lanes onto each physical channel, which
+            then share the physical bandwidth (Section 1's virtual
+            channels).
+    """
+
+    src: NodeId
+    dst: NodeId
+    direction: Direction
+    wraparound: bool = False
+    lane: int = 0
+
+    @property
+    def physical(self) -> Tuple[NodeId, NodeId]:
+        """The physical link this channel occupies (shared across lanes)."""
+        return (self.src, self.dst)
+
+    def __str__(self) -> str:
+        wrap = "~" if self.wraparound else ""
+        lane = f"#{self.lane}" if self.lane else ""
+        return f"{self.src}{wrap}->{self.dst}{lane}"

@@ -1,0 +1,95 @@
+"""Channel-fault injection.
+
+The paper motivates nonminimal routing with fault tolerance: adaptiveness
+"provides alternative paths for packets that encounter ... faulty
+hardware" (Section 1).  :class:`FaultyTopology` wraps any topology and
+removes a set of failed channels; the nonminimal turn-table router's
+reachability oracle then automatically steers packets around the faults,
+while minimal algorithms lose connectivity — the contrast the
+fault-tolerance benchmark measures.
+
+``distance`` and ``minimal_directions`` still report the healthy
+topology's values: a packet's *minimal* hop count is a property of the
+intact network, and detours around faults are accounted as nonminimal
+hops (which is how the paper frames fault tolerance).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Iterable, Sequence
+
+from repro.topology.base import Topology
+from repro.topology.channels import Channel, NodeId
+
+__all__ = ["FaultyTopology", "random_channel_faults"]
+
+
+class FaultyTopology(Topology):
+    """A topology with some channels failed (removed).
+
+    Args:
+        base: the healthy topology.
+        failed: the channels considered dead.  Channels must belong to
+            ``base``; a fault applies to one unidirectional channel (fail
+            both directions explicitly for a broken link).
+    """
+
+    def __init__(self, base: Topology, failed: Iterable[Channel]):
+        self.base = base
+        self.failed: FrozenSet[Channel] = frozenset(failed)
+        known = set(base.channels())
+        unknown = self.failed - known
+        if unknown:
+            raise ValueError(f"channels not in the base topology: {unknown}")
+
+    @property
+    def n_dims(self) -> int:
+        return self.base.n_dims
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.base.shape
+
+    def nodes(self):
+        return self.base.nodes()
+
+    def out_channels(self, node: NodeId) -> Sequence[Channel]:
+        return tuple(
+            ch for ch in self.base.out_channels(node) if ch not in self.failed
+        )
+
+    def distance(self, src: NodeId, dst: NodeId) -> int:
+        return self.base.distance(src, dst)
+
+    def __repr__(self) -> str:
+        return f"FaultyTopology({self.base!r}, {len(self.failed)} failed)"
+
+
+def random_channel_faults(
+    topology: Topology,
+    count: int,
+    seed: int = 0,
+    spare_local: bool = True,
+) -> FaultyTopology:
+    """Fail ``count`` channels chosen uniformly at random.
+
+    Args:
+        topology: the healthy topology.
+        count: number of unidirectional channels to fail.
+        seed: RNG seed, for reproducible fault sets.
+        spare_local: unused placeholder for symmetry with simulators that
+            model local-channel faults; injection/ejection channels are
+            not part of the topology and are never failed here.
+
+    Returns:
+        The faulty topology.
+    """
+    channels = topology.channels()
+    if count > len(channels):
+        raise ValueError(
+            f"cannot fail {count} of {len(channels)} channels"
+        )
+    rng = random.Random(seed)
+    failed = rng.sample(channels, count)
+    return FaultyTopology(topology, failed)

@@ -1,0 +1,43 @@
+"""Traffic patterns and workload generation for the simulator."""
+
+from repro.traffic.patterns import (
+    HotspotTraffic,
+    PermutationTraffic,
+    TrafficPattern,
+    UniformTraffic,
+)
+from repro.traffic.permutations import (
+    bit_complement,
+    bit_reverse,
+    hypercube_transpose,
+    make_pattern,
+    mesh_transpose,
+    perfect_shuffle,
+    reverse_flip,
+    tornado,
+)
+from repro.traffic.workload import (
+    PAPER_SIZES,
+    NodeSource,
+    SizeDistribution,
+    Workload,
+)
+
+__all__ = [
+    "TrafficPattern",
+    "UniformTraffic",
+    "PermutationTraffic",
+    "HotspotTraffic",
+    "mesh_transpose",
+    "hypercube_transpose",
+    "reverse_flip",
+    "bit_complement",
+    "bit_reverse",
+    "perfect_shuffle",
+    "tornado",
+    "make_pattern",
+    "SizeDistribution",
+    "PAPER_SIZES",
+    "Workload",
+    "NodeSource",
+]

@@ -1,0 +1,166 @@
+"""Traffic patterns: who sends to whom (Section 6).
+
+A traffic pattern maps a source node to a destination — randomly for the
+uniform pattern, deterministically for the permutation patterns.  The
+paper's three workloads are uniform, matrix-transpose, and reverse-flip;
+several further classics (bit-complement, bit-reverse, shuffle, hotspot)
+are provided for wider evaluation.
+
+Nodes whose permutation image is themselves (the diagonal of the mesh
+transpose) generate no traffic; :meth:`TrafficPattern.destination` returns
+``None`` for them.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from repro.topology.base import Topology
+from repro.topology.channels import NodeId
+
+__all__ = ["TrafficPattern", "UniformTraffic", "PermutationTraffic", "HotspotTraffic"]
+
+
+class TrafficPattern(ABC):
+    """Assigns destinations to the messages a node generates."""
+
+    name: str = "pattern"
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+
+    @abstractmethod
+    def destination(self, src: NodeId, rng: random.Random) -> Optional[NodeId]:
+        """The destination for a message generated at ``src``.
+
+        Returns ``None`` when ``src`` generates no traffic under this
+        pattern (a fixed point of a permutation).
+        """
+
+    def active_sources(self) -> list[NodeId]:
+        """Nodes that generate traffic under this pattern."""
+        rng = random.Random(0)
+        return [
+            node
+            for node in self.topology.nodes()
+            if self.destination(node, rng) is not None
+        ]
+
+    def mean_minimal_hops(self) -> float:
+        """Mean shortest-path length of the pattern's traffic.
+
+        For permutations this is exact; for random patterns it averages
+        over every (source, destination) pair the pattern can produce.
+        Section 6 quotes these to show the adaptive algorithms' throughput
+        wins are not an artifact of shorter paths.
+        """
+        total = 0.0
+        count = 0
+        for src in self.topology.nodes():
+            for dst, weight in self.destination_distribution(src):
+                total += self.topology.distance(src, dst) * weight
+                count += weight
+        if count == 0:
+            return 0.0
+        return total / count
+
+    def destination_distribution(self, src: NodeId) -> list[tuple[NodeId, float]]:
+        """(destination, weight) pairs for messages generated at ``src``.
+
+        The default covers deterministic patterns; random patterns
+        override it.
+        """
+        rng = random.Random(0)
+        dst = self.destination(src, rng)
+        return [] if dst is None else [(dst, 1.0)]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name}, {self.topology!r})"
+
+
+class UniformTraffic(TrafficPattern):
+    """Each message goes to any of the *other* nodes with equal probability."""
+
+    name = "uniform"
+
+    def __init__(self, topology: Topology):
+        super().__init__(topology)
+        self._nodes = list(topology.nodes())
+        if len(self._nodes) < 2:
+            raise ValueError("uniform traffic needs at least two nodes")
+
+    def destination(self, src: NodeId, rng: random.Random) -> Optional[NodeId]:
+        dst = src
+        while dst == src:
+            dst = self._nodes[rng.randrange(len(self._nodes))]
+        return dst
+
+    def destination_distribution(self, src: NodeId) -> list[tuple[NodeId, float]]:
+        others = [n for n in self._nodes if n != src]
+        weight = 1.0 / len(others)
+        return [(dst, weight) for dst in others]
+
+
+class PermutationTraffic(TrafficPattern):
+    """A deterministic pattern: every node sends to a fixed partner.
+
+    Args:
+        topology: the network.
+        permutation: maps a source node to its destination.  Fixed points
+            are treated as "generates no traffic".
+        name: label for reports.
+    """
+
+    def __init__(self, topology: Topology, permutation, name: str):
+        super().__init__(topology)
+        self._permutation = permutation
+        self.name = name
+        for node in topology.nodes():
+            image = permutation(node)
+            if not topology.contains(image):
+                raise ValueError(
+                    f"{name} permutation maps {node} outside the network: {image}"
+                )
+
+    def destination(self, src: NodeId, rng: random.Random) -> Optional[NodeId]:
+        dst = self._permutation(src)
+        return None if dst == src else dst
+
+
+class HotspotTraffic(TrafficPattern):
+    """Uniform traffic with a fraction redirected to one hot node.
+
+    A standard stressor for adaptive routing: ``hotspot_fraction`` of all
+    messages go to ``hotspot`` and the rest are uniform.
+    """
+
+    name = "hotspot"
+
+    def __init__(
+        self,
+        topology: Topology,
+        hotspot: NodeId,
+        hotspot_fraction: float = 0.1,
+    ):
+        super().__init__(topology)
+        topology.validate_node(hotspot)
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1]: {hotspot_fraction}")
+        self.hotspot = hotspot
+        self.hotspot_fraction = hotspot_fraction
+        self._uniform = UniformTraffic(topology)
+
+    def destination(self, src: NodeId, rng: random.Random) -> Optional[NodeId]:
+        if src != self.hotspot and rng.random() < self.hotspot_fraction:
+            return self.hotspot
+        return self._uniform.destination(src, rng)
+
+    def destination_distribution(self, src: NodeId) -> list[tuple[NodeId, float]]:
+        base = self._uniform.destination_distribution(src)
+        if src == self.hotspot:
+            return base
+        scaled = [(dst, w * (1 - self.hotspot_fraction)) for dst, w in base]
+        scaled.append((self.hotspot, self.hotspot_fraction))
+        return scaled

@@ -1,0 +1,146 @@
+"""Message generation: arrival process and packet sizes (Section 6).
+
+The paper's processors generate messages at time intervals chosen from a
+negative exponential distribution; each message is one packet of 10 or 200
+flits with equal probability.  :class:`Workload` bundles the arrival
+process, size distribution, and traffic pattern, and exposes a per-node
+generator the simulator polls each cycle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.topology.channels import NodeId
+from repro.traffic.patterns import TrafficPattern
+
+__all__ = ["SizeDistribution", "PAPER_SIZES", "Workload", "NodeSource"]
+
+
+@dataclass(frozen=True)
+class SizeDistribution:
+    """A discrete distribution of packet sizes in flits.
+
+    Attributes:
+        choices: (size, probability) pairs; probabilities must sum to 1.
+    """
+
+    choices: Tuple[Tuple[int, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.choices:
+            raise ValueError("size distribution needs at least one choice")
+        if any(size < 1 for size, _ in self.choices):
+            raise ValueError(f"packet sizes must be positive: {self.choices}")
+        total = sum(p for _, p in self.choices)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"probabilities must sum to 1, got {total}")
+
+    @property
+    def mean(self) -> float:
+        """Expected packet size in flits."""
+        return sum(size * p for size, p in self.choices)
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one packet size."""
+        roll = rng.random()
+        cumulative = 0.0
+        for size, probability in self.choices:
+            cumulative += probability
+            if roll < cumulative:
+                return size
+        return self.choices[-1][0]
+
+    @classmethod
+    def fixed(cls, size: int) -> "SizeDistribution":
+        """Every packet has the same size."""
+        return cls(((size, 1.0),))
+
+
+#: The paper's bimodal distribution: 10 or 200 flits, equal probability.
+PAPER_SIZES = SizeDistribution(((10, 0.5), (200, 0.5)))
+
+
+class NodeSource:
+    """Poisson message source for one node.
+
+    Interarrival times are negative-exponential with the node's mean;
+    arrival times are kept as floats and a message is released once the
+    simulation clock passes its arrival time.
+    """
+
+    def __init__(
+        self,
+        node: NodeId,
+        pattern: TrafficPattern,
+        sizes: SizeDistribution,
+        messages_per_cycle: float,
+        rng: random.Random,
+    ):
+        self.node = node
+        self._pattern = pattern
+        self._sizes = sizes
+        self._rate = messages_per_cycle
+        self._rng = rng
+        self._next_arrival = (
+            float("inf") if messages_per_cycle <= 0 else self._draw_gap()
+        )
+
+    def _draw_gap(self) -> float:
+        return self._rng.expovariate(self._rate)
+
+    def poll(self, cycle: int) -> list[Tuple[NodeId, int, float]]:
+        """Messages arriving by ``cycle``: (destination, size, arrival time)."""
+        arrivals = []
+        while self._next_arrival <= cycle:
+            dest = self._pattern.destination(self.node, self._rng)
+            if dest is not None:
+                size = self._sizes.sample(self._rng)
+                arrivals.append((dest, size, self._next_arrival))
+            self._next_arrival += self._draw_gap()
+        return arrivals
+
+
+@dataclass
+class Workload:
+    """A complete workload: pattern, sizes, and per-node injection rate.
+
+    Attributes:
+        pattern: the traffic pattern.
+        sizes: packet size distribution; defaults to the paper's bimodal
+            10/200-flit mix.
+        offered_load: requested injection rate in flits per node per
+            cycle, as a fraction of channel bandwidth (1.0 means every
+            node tries to inject a full channel's worth of flits).
+        seed: base RNG seed; each node derives an independent stream.
+    """
+
+    pattern: TrafficPattern
+    sizes: SizeDistribution = PAPER_SIZES
+    offered_load: float = 0.1
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.offered_load < 0:
+            raise ValueError(f"offered load must be non-negative: {self.offered_load}")
+
+    @property
+    def messages_per_node_per_cycle(self) -> float:
+        """The Poisson rate implied by the offered load and mean size."""
+        return self.offered_load / self.sizes.mean
+
+    def sources(self) -> list[NodeSource]:
+        """One seeded message source per node of the topology."""
+        rate = self.messages_per_node_per_cycle
+        return [
+            NodeSource(
+                node,
+                self.pattern,
+                self.sizes,
+                rate,
+                random.Random(f"{self.seed}/{index}"),
+            )
+            for index, node in enumerate(self.pattern.topology.nodes())
+        ]

@@ -1,0 +1,105 @@
+"""Tests for the static channel-load analysis."""
+
+import pytest
+
+from repro.analysis.channel_load import channel_loads, load_report
+from repro.routing import make_routing
+from repro.topology import Mesh2D
+from repro.traffic import UniformTraffic
+from repro.traffic.patterns import PermutationTraffic
+from repro.traffic.permutations import make_pattern
+
+
+class TestFlowConservation:
+    def test_single_flow_total_equals_path_length(self, mesh44):
+        # One unit from (0,0) to (3,2) spreads over channels summing to
+        # the path length (every unit of flow crosses distance channels).
+        pattern = PermutationTraffic(
+            mesh44, lambda n: (3, 2) if n == (0, 0) else n, "single"
+        )
+        loads = channel_loads(mesh44, make_routing("west-first", mesh44), pattern)
+        assert sum(loads.values()) == pytest.approx(5.0)
+
+    def test_deterministic_routing_uses_one_path(self, mesh44):
+        pattern = PermutationTraffic(
+            mesh44, lambda n: (3, 2) if n == (0, 0) else n, "single"
+        )
+        loads = channel_loads(mesh44, make_routing("xy", mesh44), pattern)
+        used = [ch for ch, load in loads.items() if load > 0]
+        assert len(used) == 5
+        assert all(load == pytest.approx(1.0) for load in loads.values())
+
+    def test_adaptive_routing_splits(self, mesh44):
+        pattern = PermutationTraffic(
+            mesh44, lambda n: (2, 2) if n == (0, 0) else n, "single"
+        )
+        loads = channel_loads(
+            mesh44, make_routing("negative-first", mesh44), pattern
+        )
+        first_east = mesh44.channel_in_direction((0, 0),
+            mesh44.minimal_directions((0, 0), (2, 0))[0])
+        assert loads[first_east] == pytest.approx(0.5)
+
+    def test_uniform_total_flow_matches_mean_distance(self, mesh44):
+        pattern = UniformTraffic(mesh44)
+        loads = channel_loads(mesh44, make_routing("xy", mesh44), pattern)
+        total = sum(loads.values())
+        expected = pattern.mean_minimal_hops() * mesh44.num_nodes
+        assert total == pytest.approx(expected, rel=1e-6)
+
+
+class TestReports:
+    def test_transpose_explains_figure14(self):
+        # The hottest xy channel under the paper's transpose carries
+        # roughly 2.4x what negative-first's hottest carries — the static
+        # root of Figure 14's ~2x sustainable-throughput gap.
+        mesh = Mesh2D(8, 8)
+        pattern = make_pattern("transpose", mesh)
+        xy = load_report(mesh, make_routing("xy", mesh), pattern)
+        nf = load_report(mesh, make_routing("negative-first", mesh), pattern)
+        assert xy.max_load > 2.0 * nf.max_load
+
+    def test_uniform_explains_figure13(self):
+        mesh = Mesh2D(8, 8)
+        pattern = UniformTraffic(mesh)
+        xy = load_report(mesh, make_routing("xy", mesh), pattern)
+        nf = load_report(mesh, make_routing("negative-first", mesh), pattern)
+        assert xy.max_load < nf.max_load
+
+    def test_saturation_bound_inverse_of_max(self, mesh44):
+        report = load_report(
+            mesh44, make_routing("xy", mesh44), UniformTraffic(mesh44)
+        )
+        assert report.saturation_bound == pytest.approx(1 / report.max_load)
+
+    def test_silent_pattern_reports_zero(self, mesh44):
+        identity = PermutationTraffic(mesh44, lambda n: n, "identity")
+        report = load_report(mesh44, make_routing("xy", mesh44), identity)
+        assert report.max_load == 0.0
+        assert report.saturation_bound == float("inf")
+        assert report.active_sources == 0
+
+    def test_str_mentions_bound(self, mesh44):
+        report = load_report(
+            mesh44, make_routing("xy", mesh44), UniformTraffic(mesh44)
+        )
+        assert "saturation bound" in str(report)
+
+
+class TestBoundVsSimulation:
+    def test_simulated_saturation_below_static_bound(self):
+        # The ideal bound is an upper bound on what the simulator can
+        # sustain (wormhole blocking costs something).
+        from repro.sim import SimulationConfig, simulate
+
+        mesh = Mesh2D(6, 6)
+        report = load_report(
+            mesh, make_routing("xy", mesh), UniformTraffic(mesh)
+        )
+        config = SimulationConfig(
+            warmup_cycles=500, measure_cycles=3000, drain_cycles=0
+        )
+        deep = simulate(mesh, "xy", "uniform", 0.95, config=config)
+        # Delivered fraction of capacity never exceeds the bound (scaled
+        # by the active-source fraction, here 1).
+        assert deep.throughput_fraction <= report.saturation_bound * 1.05

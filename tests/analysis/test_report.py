@@ -1,0 +1,65 @@
+"""Tests for text report rendering."""
+
+import pytest
+
+from repro.analysis.report import format_table, render_comparison, render_series_table
+from repro.analysis.sweep import SweepPoint, SweepSeries
+
+
+def _series(name, sustained):
+    points = [
+        SweepPoint(0.1, sustained, 5.0, True, False, 1.0, 4.0),
+        SweepPoint(0.5, sustained * 1.2, 30.0, False, False, 0.7, 4.0),
+    ]
+    return SweepSeries(name, "transpose", points)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "long"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_header_separator(self):
+        table = format_table(["x"], [[1]])
+        assert "-" in table.splitlines()[1]
+
+
+class TestRenderSeries:
+    def test_contains_all_points(self):
+        text = render_series_table(_series("xy", 100.0))
+        assert "xy / transpose" in text
+        assert "0.100" in text and "0.500" in text
+        assert "saturated" in text
+        assert "ok" in text
+
+    def test_deadlock_marked(self):
+        series = SweepSeries("bad", "uniform", [
+            SweepPoint(0.1, 0.0, 0.0, False, True, 0.0, 0.0)
+        ])
+        assert "DEADLOCK" in render_series_table(series)
+
+
+class TestRenderComparison:
+    def test_ratios_against_baseline(self):
+        text = render_comparison(
+            [_series("xy", 100.0), _series("negative-first", 200.0)], "xy"
+        )
+        assert "2.00x" in text
+        assert "1.00x" in text
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            render_comparison([_series("xy", 100.0)], "e-cube")
+
+    def test_zero_baseline_reports_inf(self):
+        series = [
+            SweepSeries("dead", "uniform", [
+                SweepPoint(0.1, 50.0, 5.0, False, False, 0.5, 4.0)
+            ]),
+            _series("adaptive", 100.0),
+        ]
+        text = render_comparison(series, "dead")
+        assert "inf" in text

@@ -1,0 +1,51 @@
+"""Tests for the sustainable-load bisection search."""
+
+import pytest
+
+from repro.analysis.sustainable import find_sustainable_load
+from repro.sim import SimulationConfig
+from repro.topology import Mesh2D
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return SimulationConfig(
+        warmup_cycles=400, measure_cycles=1600, drain_cycles=0
+    )
+
+
+class TestBisection:
+    def test_finds_a_boundary(self, quick_config):
+        mesh = Mesh2D(4, 4)
+        load, throughput = find_sustainable_load(
+            mesh, "xy", "uniform",
+            low=0.02, high=1.0, tolerance=0.1, config=quick_config,
+        )
+        assert 0.02 <= load < 1.0
+        assert throughput > 0
+
+    def test_low_bound_must_sustain(self, quick_config):
+        mesh = Mesh2D(4, 4)
+        load, throughput = find_sustainable_load(
+            mesh, "xy", "transpose-diagonal",
+            low=0.98, high=1.0, tolerance=0.05, config=quick_config,
+        )
+        # 0.98 is far past saturation for xy on transpose: (0, 0) signals
+        # that even the low bound is unsustainable.
+        assert (load, throughput) == (0.0, 0.0)
+
+    def test_sustained_high_returned_directly(self, quick_config):
+        mesh = Mesh2D(4, 4)
+        load, throughput = find_sustainable_load(
+            mesh, "xy", "uniform",
+            low=0.01, high=0.02, tolerance=0.005, config=quick_config,
+        )
+        assert load == 0.02
+        assert throughput > 0
+
+    def test_invalid_bracket_rejected(self, quick_config):
+        with pytest.raises(ValueError):
+            find_sustainable_load(
+                Mesh2D(4, 4), "xy", "uniform", low=0.5, high=0.4,
+                config=quick_config,
+            )

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import Hypercube, Mesh, Mesh2D, Torus
+
+
+@pytest.fixture
+def mesh44() -> Mesh2D:
+    return Mesh2D(4, 4)
+
+
+@pytest.fixture
+def mesh54() -> Mesh2D:
+    """A non-square mesh, to catch x/y mixups."""
+    return Mesh2D(5, 4)
+
+
+@pytest.fixture
+def mesh88() -> Mesh2D:
+    return Mesh2D(8, 8)
+
+
+@pytest.fixture
+def mesh3d() -> Mesh:
+    return Mesh((3, 3, 3))
+
+
+@pytest.fixture
+def cube4() -> Hypercube:
+    return Hypercube(4)
+
+
+@pytest.fixture
+def torus42() -> Torus:
+    return Torus(4, 2)

@@ -1,0 +1,78 @@
+"""Tests for the direction algebra."""
+
+import pytest
+
+from repro.core.directions import (
+    EAST,
+    NORTH,
+    SOUTH,
+    WEST,
+    Direction,
+    all_directions,
+)
+
+
+class TestDirection:
+    def test_compass_constants_match_paper_axes(self):
+        # Section 2: dimension 0 is x, dimension 1 is y; -x is west, +y north.
+        assert WEST == Direction(0, -1)
+        assert EAST == Direction(0, 1)
+        assert SOUTH == Direction(1, -1)
+        assert NORTH == Direction(1, 1)
+
+    def test_opposite_is_involution(self):
+        for direction in all_directions(4):
+            assert direction.opposite.opposite == direction
+
+    def test_opposite_flips_sign_only(self):
+        d = Direction(3, 1)
+        assert d.opposite == Direction(3, -1)
+
+    def test_sign_predicates(self):
+        assert EAST.is_positive and not EAST.is_negative
+        assert WEST.is_negative and not WEST.is_positive
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(ValueError):
+            Direction(0, 0)
+        with pytest.raises(ValueError):
+            Direction(0, 2)
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            Direction(-1, 1)
+
+    def test_ordering_is_dimension_major(self):
+        dirs = sorted([NORTH, WEST, EAST, SOUTH])
+        assert dirs == [WEST, EAST, SOUTH, NORTH]
+
+    def test_compass_names(self):
+        assert WEST.compass_name() == "west"
+        assert EAST.compass_name() == "east"
+        assert SOUTH.compass_name() == "south"
+        assert NORTH.compass_name() == "north"
+
+    def test_higher_dims_fall_back_to_sign_notation(self):
+        assert Direction(2, 1).compass_name() == "+2"
+        assert Direction(5, -1).compass_name() == "-5"
+
+    def test_directions_are_hashable_and_interned_by_value(self):
+        assert {Direction(0, 1), EAST} == {EAST}
+
+
+class TestAllDirections:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_count_is_2n(self, n):
+        assert len(list(all_directions(n))) == 2 * n
+
+    def test_all_distinct(self):
+        dirs = list(all_directions(4))
+        assert len(set(dirs)) == len(dirs)
+
+    def test_zero_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            list(all_directions(0))
+
+    def test_sorted_order(self):
+        dirs = list(all_directions(3))
+        assert dirs == sorted(dirs)

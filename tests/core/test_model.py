@@ -1,0 +1,154 @@
+"""Tests for the six-step turn model driver (Section 2 and Section 3 intro)."""
+
+import pytest
+
+from repro.core.directions import EAST, NORTH, SOUTH, WEST
+from repro.core.model import (
+    TurnModel,
+    apply_symmetry,
+    mesh_symmetries_2d,
+    symmetry_classes,
+)
+from repro.core.restrictions import (
+    negative_first_restriction,
+    north_last_restriction,
+    west_first_restriction,
+)
+from repro.core.turns import Turn
+
+
+class TestSteps:
+    def test_step1_directions(self):
+        assert len(TurnModel(2).directions()) == 4
+        assert len(TurnModel(3).directions()) == 6
+
+    def test_step2_turns(self):
+        assert len(TurnModel(2).turns()) == 8
+
+    def test_step3_cycles(self):
+        assert len(TurnModel(2).cycles()) == 2
+
+    def test_minimum_prohibited(self):
+        assert TurnModel(2).minimum_prohibited == 2
+        assert TurnModel(4).minimum_prohibited == 12
+
+    def test_needs_two_dimensions(self):
+        with pytest.raises(ValueError):
+            TurnModel(1)
+
+
+class TestSection3Enumeration:
+    """Section 3: 16 ways, 12 deadlock free, 3 unique up to symmetry."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return TurnModel(2)
+
+    def test_sixteen_candidates(self, model):
+        assert len(list(model.candidate_prohibitions())) == 16
+
+    def test_twelve_prevent_deadlock(self, model):
+        assert len(model.deadlock_free_prohibitions()) == 12
+
+    def test_three_unique_classes(self, model):
+        assert len(model.unique_prohibitions()) == 3
+
+    def test_invalid_pairs_are_the_inverse_pairs(self, model):
+        invalid = [
+            turns
+            for turns in model.candidate_prohibitions()
+            if not model.is_valid_prohibition(turns)
+        ]
+        assert len(invalid) == 4
+        for turns in invalid:
+            # Each invalid pair prohibits a turn and its inverse
+            # (east->south with south->east, etc.), the Figure 4 failure.
+            t1, t2 = tuple(turns)
+            assert {t1.frm, t1.to} == {t2.frm, t2.to}
+
+    def test_named_algorithms_appear_among_the_twelve(self, model):
+        free = model.deadlock_free_prohibitions()
+        assert west_first_restriction().prohibited in free
+        assert north_last_restriction().prohibited in free
+        assert negative_first_restriction(2).prohibited in free
+
+    def test_named_algorithms_cover_the_three_classes(self, model):
+        classes = symmetry_classes(model.deadlock_free_prohibitions())
+        named = [
+            west_first_restriction().prohibited,
+            north_last_restriction().prohibited,
+            negative_first_restriction(2).prohibited,
+        ]
+        hit = set()
+        for index, members in enumerate(classes):
+            for candidate in named:
+                if candidate in members:
+                    hit.add(index)
+        assert hit == {0, 1, 2}
+
+    def test_classes_have_four_members_each(self, model):
+        classes = symmetry_classes(model.deadlock_free_prohibitions())
+        assert sorted(len(c) for c in classes) == [4, 4, 4]
+
+
+class TestSymmetries:
+    def test_eight_symmetries(self):
+        symmetries = mesh_symmetries_2d()
+        assert len(symmetries) == 8
+        # All distinct as mappings.
+        as_tuples = {tuple(sorted(m.items())) for m in symmetries}
+        assert len(as_tuples) == 8
+
+    def test_symmetries_are_bijections(self):
+        for mapping in mesh_symmetries_2d():
+            assert len(set(mapping.values())) == 4
+
+    def test_apply_symmetry_preserves_size(self):
+        turns = west_first_restriction().prohibited
+        for mapping in mesh_symmetries_2d():
+            assert len(apply_symmetry(mapping, turns)) == len(turns)
+
+    def test_rotation_moves_west_first_to_another_member(self):
+        symmetries = mesh_symmetries_2d()
+        rotation = symmetries[1]
+        rotated = apply_symmetry(rotation, west_first_restriction().prohibited)
+        # The quarter-turn of "prohibit turns into west" prohibits turns
+        # into south.
+        assert rotated == {Turn(EAST, SOUTH), Turn(WEST, SOUTH)}
+
+
+class TestStep6Reversals:
+    def test_extension_is_maximal_for_negative_first(self):
+        model = TurnModel(2)
+        base = negative_first_restriction(2)
+        extended = model.maximal_reversal_extension(
+            base.with_reversals(())  # start from no reversals
+        )
+        # Negative-first admits both negative-to-positive reversals.
+        assert Turn(WEST, EAST) in extended.allowed_reversals
+        assert Turn(SOUTH, NORTH) in extended.allowed_reversals
+
+    def test_extension_never_adds_unsafe_pair(self):
+        model = TurnModel(2)
+        for prohibited in model.deadlock_free_prohibitions():
+            extended = model.maximal_reversal_extension(
+                model.restriction(prohibited, add_reversals=False)
+            )
+            # Adding a reversal and its inverse together always cycles, so
+            # at most one of each opposite pair may be present.
+            reversals = extended.allowed_reversals
+            for turn in reversals:
+                assert Turn(turn.to, turn.frm) not in reversals
+
+    def test_restriction_factory_validates(self):
+        model = TurnModel(2)
+        with pytest.raises(ValueError):
+            model.restriction([Turn(EAST, SOUTH), Turn(SOUTH, EAST)])
+
+    def test_restriction_factory_builds_named(self):
+        model = TurnModel(2)
+        r = model.restriction(
+            west_first_restriction().prohibited, name="wf", add_reversals=True
+        )
+        assert r.name == "wf"
+        assert Turn(WEST, EAST) in r.allowed_reversals

@@ -1,0 +1,156 @@
+"""Tests for the named turn restrictions (Sections 3-5)."""
+
+import pytest
+
+from repro.core.directions import EAST, NORTH, SOUTH, WEST, Direction
+from repro.core.restrictions import (
+    TurnRestriction,
+    abonf_restriction,
+    abopl_restriction,
+    figure4_restriction,
+    fully_adaptive,
+    negative_first_restriction,
+    north_last_restriction,
+    west_first_restriction,
+    xy_restriction,
+)
+from repro.core.turns import Turn, minimum_prohibited_turns, ninety_degree_turns
+
+
+class TestPermits:
+    def test_first_hop_always_permitted(self):
+        r = west_first_restriction()
+        assert r.permits(None, WEST)
+        assert r.permits(None, EAST)
+
+    def test_straight_through_always_permitted(self):
+        r = west_first_restriction()
+        for d in (WEST, EAST, NORTH, SOUTH):
+            assert r.permits(d, d)
+
+    def test_prohibited_turn_rejected(self):
+        r = west_first_restriction()
+        assert not r.permits(NORTH, WEST)
+        assert not r.permits(SOUTH, WEST)
+
+    def test_allowed_turn_accepted(self):
+        r = west_first_restriction()
+        assert r.permits(EAST, NORTH)
+        assert r.permits(WEST, SOUTH)
+
+    def test_reversals_prohibited_by_default(self):
+        r = xy_restriction()
+        assert not r.permits(EAST, WEST)
+        assert not r.permits(NORTH, SOUTH)
+
+    def test_explicit_reversal_permitted(self):
+        r = west_first_restriction()
+        assert r.permits(WEST, EAST)
+        assert not r.permits(EAST, WEST)
+
+
+class TestConstruction:
+    def test_prohibited_must_be_ninety_degree(self):
+        with pytest.raises(ValueError):
+            TurnRestriction(2, frozenset((Turn(EAST, WEST),)))
+
+    def test_reversals_must_be_one_eighty(self):
+        with pytest.raises(ValueError):
+            TurnRestriction(
+                2, frozenset(), allowed_reversals=frozenset((Turn(EAST, NORTH),))
+            )
+
+    def test_dimension_bound_enforced(self):
+        turn = Turn(Direction(2, 1), Direction(0, -1))
+        with pytest.raises(ValueError):
+            TurnRestriction(2, frozenset((turn,)))
+
+    def test_with_reversals_accumulates(self):
+        r = xy_restriction().with_reversals([Turn(EAST, WEST)])
+        assert r.permits(EAST, WEST)
+        assert r.prohibited == xy_restriction().prohibited
+
+    def test_with_name(self):
+        assert xy_restriction().with_name("renamed").name == "renamed"
+
+
+class TestNamedRestrictions:
+    def test_xy_prohibits_four_turns(self):
+        # Figure 3: xy allows only four turns.
+        r = xy_restriction()
+        assert len(r.prohibited) == 4
+        assert len(r.allowed) == 4
+
+    def test_xy_prohibits_turns_out_of_y(self):
+        r = xy_restriction()
+        assert r.prohibited == {
+            Turn(NORTH, EAST), Turn(NORTH, WEST),
+            Turn(SOUTH, EAST), Turn(SOUTH, WEST),
+        }
+
+    def test_west_first_prohibits_turns_to_west(self):
+        # Figure 5a: the two turns to the west.
+        r = west_first_restriction()
+        assert r.prohibited == {Turn(NORTH, WEST), Turn(SOUTH, WEST)}
+
+    def test_north_last_prohibits_turns_when_north(self):
+        # Figure 9a: the two turns when travelling north.
+        r = north_last_restriction()
+        assert r.prohibited == {Turn(NORTH, WEST), Turn(NORTH, EAST)}
+
+    def test_negative_first_prohibits_positive_to_negative(self):
+        # Figure 10a.
+        r = negative_first_restriction(2)
+        assert r.prohibited == {Turn(EAST, SOUTH), Turn(NORTH, WEST)}
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_negative_first_hits_theorem1_minimum(self, n):
+        assert len(negative_first_restriction(n).prohibited) == (
+            minimum_prohibited_turns(n)
+        )
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_abonf_hits_theorem1_minimum(self, n):
+        assert len(abonf_restriction(n).prohibited) == minimum_prohibited_turns(n)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_abopl_hits_theorem1_minimum(self, n):
+        assert len(abopl_restriction(n).prohibited) == minimum_prohibited_turns(n)
+
+    def test_abonf_2d_is_west_first(self):
+        # Section 4.1: ABONF is the analog of west-first.
+        assert abonf_restriction(2).prohibited == west_first_restriction().prohibited
+
+    def test_abopl_2d_is_north_last(self):
+        assert abopl_restriction(2).prohibited == north_last_restriction().prohibited
+
+    def test_fully_adaptive_prohibits_nothing(self):
+        r = fully_adaptive(3)
+        assert not r.prohibited
+        assert len(r.allowed) == len(ninety_degree_turns(3))
+
+    def test_figure4_prohibits_inverse_pair(self):
+        r = figure4_restriction()
+        assert r.prohibited == {Turn(EAST, SOUTH), Turn(SOUTH, EAST)}
+
+
+class TestBreaksEveryAbstractCycle:
+    def test_valid_restrictions_break_every_cycle(self):
+        for r in (
+            xy_restriction(),
+            west_first_restriction(),
+            north_last_restriction(),
+            negative_first_restriction(2),
+            negative_first_restriction(4),
+            abonf_restriction(3),
+            abopl_restriction(3),
+        ):
+            assert r.breaks_every_abstract_cycle(), r.name
+
+    def test_figure4_breaks_cycles_but_is_still_unsafe(self):
+        # The subtlety of Figure 4: one turn per cycle is prohibited, yet
+        # deadlock remains possible (checked in test_channel_graph).
+        assert figure4_restriction().breaks_every_abstract_cycle()
+
+    def test_fully_adaptive_breaks_nothing(self):
+        assert not fully_adaptive(2).breaks_every_abstract_cycle()

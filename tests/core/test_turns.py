@@ -1,0 +1,112 @@
+"""Tests for turn enumeration and the abstract cycles (Theorem 1 counts)."""
+
+import pytest
+
+from repro.core.directions import EAST, NORTH, SOUTH, WEST, Direction
+from repro.core.turns import (
+    LEFT_CYCLE,
+    RIGHT_CYCLE,
+    Turn,
+    TurnKind,
+    abstract_cycles,
+    all_turns,
+    minimum_prohibited_turns,
+    ninety_degree_turns,
+    plane_cycles,
+    turns_partition_check,
+)
+
+
+class TestTurnKinds:
+    def test_ninety_degree(self):
+        assert Turn(EAST, NORTH).kind == TurnKind.NINETY
+
+    def test_one_eighty(self):
+        assert Turn(EAST, WEST).kind == TurnKind.ONE_EIGHTY
+
+    def test_zero_degree(self):
+        assert Turn(EAST, EAST).kind == TurnKind.ZERO
+
+    def test_reverse_turn(self):
+        # Traversing east->north backwards is south->west.
+        assert Turn(EAST, NORTH).reverse == Turn(SOUTH, WEST)
+
+    def test_reverse_is_involution(self):
+        for turn in ninety_degree_turns(3):
+            assert turn.reverse.reverse == turn
+
+    def test_str_uses_compass_names(self):
+        assert str(Turn(EAST, NORTH)) == "east->north"
+
+
+class TestTurnCounts:
+    @pytest.mark.parametrize("n,expected", [(2, 8), (3, 24), (4, 48), (5, 80)])
+    def test_4n_n_minus_1_ninety_degree_turns(self, n, expected):
+        # Section 2: 4n(n-1) 90-degree turns in an n-dimensional mesh.
+        assert len(ninety_degree_turns(n)) == expected
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_reversal_count_is_2n(self, n):
+        reversals = [
+            t for t in all_turns(n, include_reversals=True)
+            if t.kind == TurnKind.ONE_EIGHTY
+        ]
+        assert len(reversals) == 2 * n
+
+    @pytest.mark.parametrize("n,expected", [(2, 2), (3, 6), (4, 12)])
+    def test_n_n_minus_1_abstract_cycles(self, n, expected):
+        assert len(abstract_cycles(n)) == expected
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_cycles_partition_the_turns(self, n):
+        # The proof of Theorem 1 partitions the turns into the cycles.
+        assert turns_partition_check(n)
+
+    @pytest.mark.parametrize("n,expected", [(2, 2), (3, 6), (4, 12), (6, 30)])
+    def test_theorem1_minimum(self, n, expected):
+        assert minimum_prohibited_turns(n) == expected
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_minimum_is_quarter_of_turns(self, n):
+        assert minimum_prohibited_turns(n) * 4 == len(ninety_degree_turns(n))
+
+
+class TestPlaneCycles:
+    def test_2d_left_cycle_is_four_left_turns(self):
+        # Figure 2: the counterclockwise cycle consists of the left turns.
+        assert set(LEFT_CYCLE) == {
+            Turn(EAST, NORTH),
+            Turn(NORTH, WEST),
+            Turn(WEST, SOUTH),
+            Turn(SOUTH, EAST),
+        }
+
+    def test_2d_right_cycle_is_four_right_turns(self):
+        assert set(RIGHT_CYCLE) == {
+            Turn(EAST, SOUTH),
+            Turn(SOUTH, WEST),
+            Turn(WEST, NORTH),
+            Turn(NORTH, EAST),
+        }
+
+    def test_cycles_disjoint(self):
+        assert not set(LEFT_CYCLE) & set(RIGHT_CYCLE)
+
+    def test_cycle_turns_chain(self):
+        # Each turn's destination direction is the next turn's source.
+        for cycle in abstract_cycles(3):
+            for turn, following in zip(cycle, cycle[1:] + cycle[:1]):
+                assert turn.to == following.frm
+
+    def test_same_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            plane_cycles(1, 1)
+
+    def test_dimension_order_normalized(self):
+        assert plane_cycles(0, 1) == plane_cycles(1, 0)
+
+    def test_higher_plane_uses_its_dimensions(self):
+        ccw, cw = plane_cycles(1, 3)
+        dims = {t.frm.dim for t in ccw} | {t.to.dim for t in ccw}
+        assert dims == {1, 3}
+        assert len(set(ccw) | set(cw)) == 8

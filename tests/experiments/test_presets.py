@@ -1,0 +1,66 @@
+"""Tests for the experiment presets and figure-driver metadata."""
+
+import pytest
+
+from repro.experiments.presets import PRESETS, get_preset
+from repro.experiments.figures import CUBE_ALGORITHMS, MESH_ALGORITHMS
+from repro.routing import make_routing
+
+
+class TestPresets:
+    def test_known_names(self):
+        assert set(PRESETS) == {"quick", "mid", "paper"}
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_preset("enormous")
+
+    def test_paper_preset_matches_section6(self):
+        paper = get_preset("paper")
+        assert paper.mesh_side == 16
+        assert paper.cube_dims == 8
+        assert paper.mesh().num_nodes == 256
+        assert paper.cube().num_nodes == 256
+
+    def test_quick_preset_smaller(self):
+        quick = get_preset("quick")
+        assert quick.mesh().num_nodes < 256
+        assert quick.measure_cycles < get_preset("paper").measure_cycles
+
+    def test_sim_config_carries_windows(self):
+        preset = get_preset("quick")
+        config = preset.sim_config()
+        assert config.warmup_cycles == preset.warmup_cycles
+        assert config.measure_cycles == preset.measure_cycles
+
+    def test_sim_config_overrides(self):
+        config = get_preset("quick").sim_config(buffer_depth=3)
+        assert config.buffer_depth == 3
+
+    def test_load_grids_ascending(self):
+        for preset in PRESETS.values():
+            for grid in (
+                preset.loads_mesh_uniform,
+                preset.loads_mesh_transpose,
+                preset.loads_cube_uniform,
+                preset.loads_cube_transpose,
+                preset.loads_cube_reverse_flip,
+            ):
+                assert list(grid) == sorted(grid)
+                assert all(0 < load <= 1.0 for load in grid)
+
+
+class TestFigureAlgorithmLists:
+    def test_mesh_algorithms_construct(self):
+        mesh = get_preset("quick").mesh()
+        for name in MESH_ALGORITHMS:
+            assert make_routing(name, mesh).name == name
+
+    def test_cube_algorithms_construct(self):
+        cube = get_preset("quick").cube()
+        for name in CUBE_ALGORITHMS:
+            assert make_routing(name, cube).name == name
+
+    def test_baselines_listed_first(self):
+        assert MESH_ALGORITHMS[0] == "xy"
+        assert CUBE_ALGORITHMS[0] == "e-cube"

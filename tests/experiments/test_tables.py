@@ -1,0 +1,130 @@
+"""Tests reproducing the paper's tables and numeric claims exactly."""
+
+import pytest
+
+from repro.experiments.tables import (
+    PCUBE_EXAMPLE,
+    adaptiveness_table,
+    enumeration_table,
+    path_length_table,
+    pcube_example_table,
+    theorem1_table,
+)
+from repro.topology import Hypercube, Mesh2D
+from repro.traffic.permutations import (
+    hypercube_transpose,
+    mesh_transpose,
+    reverse_flip,
+)
+from repro.traffic.patterns import UniformTraffic
+
+
+class TestTheorem1Table:
+    def test_counts(self):
+        table = theorem1_table(4)
+        assert "2               8              2               2" in table.replace(
+            "  ", " " * 2
+        ) or "8" in table
+        lines = table.splitlines()
+        assert len(lines) == 2 + 3  # header + rule + n = 2, 3, 4
+
+    def test_fraction_is_quarter(self):
+        table = theorem1_table(6)
+        for line in table.splitlines()[2:]:
+            assert line.rstrip().endswith("0.25")
+
+
+class TestEnumerationTable:
+    def test_paper_counts(self):
+        candidates, free, unique, rendered = enumeration_table()
+        assert candidates == 16
+        assert free == 12
+        assert unique == 3
+        assert "16 ways" in rendered
+        assert "12 prevent deadlock" in rendered
+        assert "3 unique" in rendered
+
+
+class TestPCubeExample:
+    """The Section 5 worked example, digit for digit."""
+
+    def test_choices_column(self):
+        rows, _ = pcube_example_table()
+        observed = [(r.choices, r.extra_choices) for r in rows]
+        assert observed == list(PCUBE_EXAMPLE["expected_choices"])
+
+    def test_addresses_follow_paper_path(self):
+        rows, _ = pcube_example_table()
+        assert rows[0].address == PCUBE_EXAMPLE["source"]
+        assert rows[1].address == "1011010000"
+        assert rows[2].address == "0011010000"
+        assert rows[3].address == "0010010000"
+        assert rows[4].address == "0010110000"
+        assert rows[5].address == "0010110001"
+
+    def test_dimensions_taken(self):
+        rows, _ = pcube_example_table()
+        assert tuple(r.dimension_taken for r in rows) == (2, 9, 6, 5, 0, 3)
+
+    def test_shortest_path_count(self):
+        _, rendered = pcube_example_table()
+        assert "enumerated=36" in rendered
+        assert "h1!h0!=36" in rendered
+        assert "h!=720" in rendered
+
+    def test_choices_labels(self):
+        rows, _ = pcube_example_table()
+        assert rows[0].choices_label() == "3(+2)"
+        assert rows[3].choices_label() == "3"
+
+
+class TestPathLengths:
+    """Section 6's average minimal path lengths."""
+
+    def test_mesh_uniform_close_to_paper(self):
+        hops = UniformTraffic(Mesh2D(16, 16)).mean_minimal_hops()
+        # Paper: 10.61 (self-pairs counted slightly differently).
+        assert hops == pytest.approx(10.64, abs=0.1)
+
+    def test_mesh_transpose_close_to_paper(self):
+        hops = mesh_transpose(Mesh2D(16, 16)).mean_minimal_hops()
+        assert hops == pytest.approx(11.34, abs=0.05)
+
+    def test_cube_uniform_close_to_paper(self):
+        hops = UniformTraffic(Hypercube(8)).mean_minimal_hops()
+        assert hops == pytest.approx(4.01, abs=0.02)
+
+    def test_cube_reverse_flip_matches_paper(self):
+        hops = reverse_flip(Hypercube(8)).mean_minimal_hops()
+        assert hops == pytest.approx(4.27, abs=0.02)
+
+    def test_transpose_longer_than_uniform(self):
+        # The paper's point: the adaptive win is not from shorter paths.
+        mesh = Mesh2D(16, 16)
+        assert (
+            mesh_transpose(mesh).mean_minimal_hops()
+            > UniformTraffic(mesh).mean_minimal_hops()
+        )
+        cube = Hypercube(8)
+        assert (
+            reverse_flip(cube).mean_minimal_hops()
+            > UniformTraffic(cube).mean_minimal_hops()
+        )
+
+    def test_rendered_table_contains_rows(self):
+        table = path_length_table(mesh_side=8, cube_dims=6)
+        assert "8x8 mesh" in table
+        assert "6-cube" in table
+        assert "reverse-flip" in table
+
+
+class TestAdaptivenessTable:
+    def test_contains_all_algorithms(self):
+        table = adaptiveness_table(side=4)
+        for name in ("west-first", "north-last", "negative-first", "xy"):
+            assert name in table
+
+    def test_xy_fraction_is_one(self):
+        table = adaptiveness_table(side=4)
+        xy_row = next(l for l in table.splitlines() if l.strip().startswith("xy"))
+        assert xy_row.rstrip().endswith("1.00")

@@ -1,0 +1,136 @@
+"""Property-based tests for routing algorithms: delivery, legality, minimality."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.restrictions import (
+    negative_first_restriction,
+    north_last_restriction,
+    west_first_restriction,
+)
+from repro.routing import make_routing
+from repro.topology import Hypercube, Mesh2D
+
+MESH = Mesh2D(6, 6)
+CUBE = Hypercube(5)
+RESTRICTIONS = {
+    "west-first": west_first_restriction(),
+    "north-last": north_last_restriction(),
+    "negative-first": negative_first_restriction(2),
+}
+
+coords = st.tuples(st.integers(0, 5), st.integers(0, 5))
+cube_nodes = st.tuples(*[st.integers(0, 1)] * 5)
+mesh_algorithms = st.sampled_from(
+    ["xy", "west-first", "north-last", "negative-first", "abonf", "abopl"]
+)
+
+
+def walk(topology, algorithm, src, dst, choice_seq):
+    """Follow the relation, choosing candidates per the given sequence."""
+    node, in_ch, hops = src, None, []
+    step = 0
+    while node != dst:
+        candidates = algorithm.route(in_ch, node, dst)
+        assert candidates, f"no route at {node} for {src}->{dst}"
+        channel = candidates[choice_seq[step % len(choice_seq)] % len(candidates)]
+        hops.append(channel)
+        node, in_ch = channel.dst, channel
+        step += 1
+        assert step <= 200, "walk did not terminate"
+    return hops
+
+
+class TestMeshAlgorithms:
+    @given(
+        name=mesh_algorithms,
+        src=coords,
+        dst=coords,
+        choices=st.lists(st.integers(0, 3), min_size=1, max_size=8),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_minimal_delivery_any_adaptive_choice(self, name, src, dst, choices):
+        if src == dst:
+            return
+        algorithm = make_routing(name, MESH)
+        hops = walk(MESH, algorithm, src, dst, choices)
+        assert len(hops) == MESH.distance(src, dst)
+
+    @given(
+        name=st.sampled_from(["west-first", "north-last", "negative-first"]),
+        src=coords,
+        dst=coords,
+        choices=st.lists(st.integers(0, 3), min_size=1, max_size=8),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_walks_use_only_permitted_turns(self, name, src, dst, choices):
+        if src == dst:
+            return
+        algorithm = make_routing(name, MESH)
+        restriction = RESTRICTIONS[name]
+        hops = walk(MESH, algorithm, src, dst, choices)
+        for prev, cur in zip(hops, hops[1:]):
+            assert restriction.permits(prev.direction, cur.direction), (
+                name, prev.direction, cur.direction,
+            )
+
+    @given(
+        src=coords, dst=coords,
+        choices=st.lists(st.integers(0, 3), min_size=1, max_size=8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_nonminimal_west_first_always_delivers(self, src, dst, choices):
+        if src == dst:
+            return
+        algorithm = make_routing("west-first-nonminimal", MESH)
+        node, in_ch, step = src, None, 0
+        # Prefer productive hops (index 0) most of the time but sometimes
+        # take detours; the turn numbering bounds the walk regardless.
+        while node != dst:
+            candidates = algorithm.route(in_ch, node, dst)
+            assert candidates
+            index = choices[step % len(choices)]
+            channel = candidates[0 if index < 3 else index % len(candidates)]
+            node, in_ch = channel.dst, channel
+            step += 1
+            assert step <= 500
+        assert node == dst
+
+
+class TestHypercubeAlgorithms:
+    @given(
+        src=cube_nodes, dst=cube_nodes,
+        choices=st.lists(st.integers(0, 4), min_size=1, max_size=6),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_pcube_minimal_delivery(self, src, dst, choices):
+        if src == dst:
+            return
+        algorithm = make_routing("p-cube", CUBE)
+        hops = walk(CUBE, algorithm, src, dst, choices)
+        assert len(hops) == CUBE.distance(src, dst)
+
+    @given(src=cube_nodes, dst=cube_nodes)
+    @settings(max_examples=80, deadline=None)
+    def test_pcube_phase_order(self, src, dst):
+        # All 1 -> 0 hops precede all 0 -> 1 hops (negative-first order).
+        if src == dst:
+            return
+        algorithm = make_routing("p-cube", CUBE)
+        hops = walk(CUBE, algorithm, src, dst, [0])
+        signs = [h.direction.sign for h in hops]
+        if -1 in signs and 1 in signs:
+            assert max(i for i, s in enumerate(signs) if s == -1) < min(
+                i for i, s in enumerate(signs) if s == 1
+            )
+
+    @given(src=cube_nodes, dst=cube_nodes)
+    @settings(max_examples=60, deadline=None)
+    def test_ecube_path_is_unique_and_sorted(self, src, dst):
+        if src == dst:
+            return
+        algorithm = make_routing("e-cube", CUBE)
+        hops = walk(CUBE, algorithm, src, dst, [0])
+        dims = [h.direction.dim for h in hops]
+        assert dims == sorted(dims)
+        assert len(set(dims)) == len(dims)

@@ -1,0 +1,52 @@
+"""Tests for the RoutingAlgorithm base helpers."""
+
+import pytest
+
+from repro.core.directions import EAST, NORTH
+from repro.routing import make_routing
+from repro.topology import Mesh2D, Torus
+
+
+class TestProductiveChannels:
+    def test_matches_minimal_directions(self, mesh44):
+        algorithm = make_routing("xy", mesh44)
+        channels = algorithm.productive_channels((1, 1), (3, 2))
+        assert {ch.direction for ch in channels} == {EAST, NORTH}
+        assert all(ch.src == (1, 1) for ch in channels)
+
+    def test_excludes_wraparounds(self, torus42):
+        algorithm = make_routing("negative-first-torus", torus42)
+        channels = algorithm.productive_channels((3, 1), (0, 1))
+        assert all(not ch.wraparound for ch in channels)
+
+    def test_empty_at_destination(self, mesh44):
+        algorithm = make_routing("xy", mesh44)
+        assert algorithm.productive_channels((2, 2), (2, 2)) == []
+
+
+class TestInDirection:
+    def test_none_for_injection(self, mesh44):
+        algorithm = make_routing("xy", mesh44)
+        assert algorithm.in_direction(None) is None
+
+    def test_channel_direction(self, mesh44):
+        algorithm = make_routing("xy", mesh44)
+        channel = mesh44.channel_in_direction((0, 0), EAST)
+        assert algorithm.in_direction(channel) == EAST
+
+
+class TestRepr:
+    def test_mentions_name_and_mode(self, mesh44):
+        text = repr(make_routing("west-first", mesh44))
+        assert "west-first" in text
+        assert "minimal" in text
+
+    def test_nonminimal_mode(self, mesh44):
+        text = repr(make_routing("west-first-nonminimal", mesh44))
+        assert "nonminimal" in text
+
+    def test_callable_equals_route(self, mesh44):
+        algorithm = make_routing("negative-first", mesh44)
+        assert algorithm(None, (0, 0), (2, 2)) == algorithm.route(
+            None, (0, 0), (2, 2)
+        )

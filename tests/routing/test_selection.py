@@ -1,0 +1,116 @@
+"""Tests for input and output selection policies."""
+
+import random
+
+import pytest
+
+from repro.core.directions import EAST, NORTH
+from repro.routing.selection import (
+    FCFSInputSelection,
+    MostFreeSelection,
+    RandomInputSelection,
+    RandomSelection,
+    SelectionContext,
+    XYSelection,
+    make_output_policy,
+)
+from repro.topology import Mesh2D, Torus
+
+
+@pytest.fixture
+def context():
+    return SelectionContext(rng=random.Random(7))
+
+
+def _mesh_candidates(mesh):
+    east = mesh.channel_in_direction((1, 1), EAST)
+    north = mesh.channel_in_direction((1, 1), NORTH)
+    return east, north
+
+
+class TestXYSelection:
+    def test_prefers_lowest_dimension(self, mesh44, context):
+        east, north = _mesh_candidates(mesh44)
+        assert XYSelection().select([north, east], context) == east
+
+    def test_single_candidate(self, mesh44, context):
+        east, _ = _mesh_candidates(mesh44)
+        assert XYSelection().select([east], context) == east
+
+    def test_prefers_mesh_over_wraparound(self, torus42, context):
+        channels = [
+            ch for ch in torus42.out_channels((0, 1))
+            if ch.direction.dim == 0 and ch.direction.is_positive
+        ]
+        assert len(channels) == 2  # mesh east + wraparound "east"
+        chosen = XYSelection().select(channels, context)
+        assert not chosen.wraparound
+
+    def test_empty_rejected(self, context):
+        with pytest.raises(ValueError):
+            XYSelection().select([], context)
+
+
+class TestRandomSelection:
+    def test_draws_from_candidates(self, mesh44, context):
+        east, north = _mesh_candidates(mesh44)
+        for _ in range(20):
+            assert RandomSelection().select([east, north], context) in (east, north)
+
+    def test_eventually_picks_both(self, mesh44, context):
+        east, north = _mesh_candidates(mesh44)
+        picks = {
+            RandomSelection().select([east, north], context) for _ in range(50)
+        }
+        assert picks == {east, north}
+
+    def test_deterministic_given_seed(self, mesh44):
+        east, north = _mesh_candidates(mesh44)
+        seq1 = [
+            RandomSelection().select([east, north], SelectionContext(
+                rng=random.Random(3)))
+        ]
+        seq2 = [
+            RandomSelection().select([east, north], SelectionContext(
+                rng=random.Random(3)))
+        ]
+        assert seq1 == seq2
+
+
+class TestMostFreeSelection:
+    def test_prefers_most_free_space(self, mesh44):
+        east, north = _mesh_candidates(mesh44)
+        context = SelectionContext(
+            free_space=lambda ch: 3 if ch == north else 1
+        )
+        assert MostFreeSelection().select([east, north], context) == north
+
+    def test_ties_fall_back_to_xy(self, mesh44):
+        east, north = _mesh_candidates(mesh44)
+        context = SelectionContext(free_space=lambda ch: 2)
+        assert MostFreeSelection().select([north, east], context) == east
+
+
+class TestInputSelection:
+    def test_fcfs_orders_by_arrival(self, context):
+        policy = FCFSInputSelection()
+        assert policy.priority(5, context) < policy.priority(9, context)
+
+    def test_random_input_varies(self, context):
+        policy = RandomInputSelection()
+        draws = {policy.priority(5, context) for _ in range(10)}
+        assert len(draws) > 1
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("xy", XYSelection),
+        ("random", RandomSelection),
+        ("most-free", MostFreeSelection),
+    ])
+    def test_known_names(self, name, cls):
+        assert isinstance(make_output_policy(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_output_policy("zigzag")

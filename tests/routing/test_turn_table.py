@@ -1,0 +1,187 @@
+"""Tests for the generic turn-table router and the reachability oracle."""
+
+import pytest
+
+from repro.core.directions import EAST, NORTH, SOUTH, WEST
+from repro.core.restrictions import (
+    negative_first_restriction,
+    north_last_restriction,
+    west_first_restriction,
+    xy_restriction,
+)
+from repro.routing import (
+    NegativeFirstRouting,
+    NorthLastRouting,
+    ReachabilityOracle,
+    TurnRestrictionRouting,
+    WestFirstRouting,
+)
+from repro.topology import Mesh, Mesh2D
+
+
+def reachable_states(algorithm, src, dest):
+    """All (in_channel, node) states a packet can reach from injection."""
+    frontier = [(None, src)]
+    seen = set()
+    while frontier:
+        in_ch, node = frontier.pop()
+        if (in_ch, node) in seen or node == dest:
+            continue
+        seen.add((in_ch, node))
+        for ch in algorithm.route(in_ch, node, dest):
+            frontier.append((ch, ch.dst))
+    return seen
+
+
+class TestMinimalEquivalence:
+    """The table-driven router must match the hand-written algorithms on
+    every reachable routing state — validating both implementations."""
+
+    @pytest.mark.parametrize(
+        "named_cls,restriction",
+        [
+            (WestFirstRouting, west_first_restriction()),
+            (NorthLastRouting, north_last_restriction()),
+            (NegativeFirstRouting, negative_first_restriction(2)),
+        ],
+    )
+    def test_hop_for_hop_equivalence(self, mesh54, named_cls, restriction):
+        named = named_cls(mesh54)
+        table = TurnRestrictionRouting(mesh54, restriction, minimal=True)
+        for src in mesh54.nodes():
+            for dst in mesh54.nodes():
+                if src == dst:
+                    continue
+                for in_ch, node in reachable_states(named, src, dst):
+                    assert set(named.route(in_ch, node, dst)) == set(
+                        table.route(in_ch, node, dst)
+                    ), (named.name, src, dst, node)
+
+    def test_xy_is_a_strict_subset_of_west_first(self, mesh44):
+        xy = TurnRestrictionRouting(mesh44, xy_restriction(), minimal=True)
+        wf = TurnRestrictionRouting(mesh44, west_first_restriction(), minimal=True)
+        strictly_smaller = False
+        for src in mesh44.nodes():
+            for dst in mesh44.nodes():
+                if src == dst:
+                    continue
+                xy_set = set(xy.route(None, src, dst))
+                wf_set = set(wf.route(None, src, dst))
+                assert xy_set <= wf_set
+                strictly_smaller |= xy_set < wf_set
+        assert strictly_smaller
+
+
+class TestMinimalReachabilityFilter:
+    def test_north_last_never_offers_premature_north(self, mesh44):
+        table = TurnRestrictionRouting(
+            mesh44, north_last_restriction(), minimal=True
+        )
+        # Destination NE: offering north first would strand the packet
+        # (north-to-east is prohibited), so only east may be offered.
+        candidates = table.route(None, (0, 0), (3, 3))
+        assert {ch.direction for ch in candidates} == {EAST}
+
+    def test_dimension_mismatch_rejected(self, mesh3d):
+        with pytest.raises(ValueError):
+            TurnRestrictionRouting(mesh3d, xy_restriction())
+
+
+class TestNonminimal:
+    def test_offers_productive_first(self, mesh44):
+        table = TurnRestrictionRouting(
+            mesh44, west_first_restriction(), minimal=False
+        )
+        candidates = table.route(None, (1, 1), (3, 3))
+        productive = {EAST, NORTH}
+        split = [ch.direction in productive for ch in candidates]
+        # All productive candidates precede all nonproductive ones.
+        assert split == sorted(split, reverse=True)
+        assert set(candidates[: split.count(True)]) == {
+            ch for ch in candidates if ch.direction in productive
+        }
+
+    def test_never_offers_stranding_hop(self, mesh44):
+        # Negative-first, destination to the NE of an interior node: a
+        # positive overshoot past the destination column would strand the
+        # packet, so east beyond the destination must not be offered once
+        # x is resolved... verified by walking every offered hop.
+        table = TurnRestrictionRouting(
+            mesh44, negative_first_restriction(2), minimal=False
+        )
+        oracle = ReachabilityOracle(mesh44, negative_first_restriction(2))
+        for src in mesh44.nodes():
+            for dst in mesh44.nodes():
+                if src == dst:
+                    continue
+                for ch in table.route(None, src, dst):
+                    assert oracle.can_reach(ch.dst, ch.direction, dst)
+
+    def test_nonminimal_name_suffix(self, mesh44):
+        table = TurnRestrictionRouting(
+            mesh44, west_first_restriction(), minimal=False, name="wf"
+        )
+        assert table.name == "wf-nonminimal"
+
+
+class TestReachabilityOracle:
+    @pytest.fixture
+    def oracle(self, mesh44):
+        return ReachabilityOracle(mesh44, negative_first_restriction(2))
+
+    def test_destination_reachable_from_itself(self, oracle):
+        assert oracle.can_reach((2, 2), None, (2, 2))
+
+    def test_fresh_injection_reaches_everything(self, oracle, mesh44):
+        for src in mesh44.nodes():
+            for dst in mesh44.nodes():
+                if src != dst:
+                    assert oracle.can_reach(src, None, dst)
+
+    def test_positive_arrival_cannot_reach_negative_dest(self, oracle):
+        # Arrived at (2, 2) travelling east; destination (1, 2) requires a
+        # west hop, and every positive-to-negative turn is prohibited.
+        assert not oracle.can_reach((2, 2), EAST, (1, 2))
+
+    def test_negative_arrival_reaches_positive_dest(self, oracle):
+        # Arrived travelling west; the west-to-east reversal is permitted.
+        assert oracle.can_reach((2, 2), WEST, (3, 2))
+
+    def test_matches_brute_force(self, oracle, mesh44):
+        # Cross-check the oracle against explicit state-graph search.
+        import itertools
+
+        restriction = negative_first_restriction(2)
+
+        def brute(node, arrival, dest):
+            frontier = [(node, arrival)]
+            seen = set()
+            while frontier:
+                cur, arr = frontier.pop()
+                if cur == dest:
+                    return True
+                if (cur, arr) in seen:
+                    continue
+                seen.add((cur, arr))
+                for ch in mesh44.out_channels(cur):
+                    if restriction.permits(arr, ch.direction):
+                        frontier.append((ch.dst, ch.direction))
+            return False
+
+        directions = [None, EAST, WEST, NORTH, SOUTH]
+        nodes = [(0, 0), (1, 2), (3, 3), (2, 0)]
+        for node, arrival, dest in itertools.product(nodes, directions, nodes):
+            if node == dest:
+                continue
+            # Skip arrivals impossible at the mesh edge (no such channel).
+            if arrival is not None:
+                feeder = mesh44.channel_in_direction(node, arrival)
+                incoming = [
+                    ch for ch in mesh44.in_channels(node)
+                    if ch.direction == arrival
+                ]
+                if not incoming:
+                    continue
+            assert oracle.can_reach(node, arrival, dest) == brute(
+                node, arrival, dest
+            ), (node, arrival, dest)

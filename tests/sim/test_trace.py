@@ -1,0 +1,103 @@
+"""Tests for the trace recorder and path replay."""
+
+import pytest
+
+from repro.core.directions import EAST, NORTH
+from repro.routing import make_routing
+from repro.sim import SimulationConfig, TraceRecorder, WormholeSimulator
+from repro.sim.deadlock import unrestricted_adaptive_routing, RoutableUniformTraffic
+from repro.topology import Mesh2D
+from repro.traffic import UniformTraffic, Workload
+from repro.traffic.workload import SizeDistribution
+
+
+def traced_run(preload, name="xy", mesh=None):
+    mesh = mesh or Mesh2D(4, 4)
+    routing = make_routing(name, mesh)
+    workload = Workload(
+        pattern=UniformTraffic(mesh),
+        sizes=SizeDistribution.fixed(4),
+        offered_load=0.0,
+    )
+    config = SimulationConfig(
+        warmup_cycles=0, measure_cycles=2000, drain_cycles=0, max_packets=0
+    )
+    trace = TraceRecorder()
+    sim = WormholeSimulator(routing, workload, config, preload=preload,
+                            trace=trace)
+    result = sim.run()
+    return trace, result
+
+
+class TestPacketLifecycle:
+    def test_event_sequence(self):
+        trace, _ = traced_run([((0, 0), (2, 1), 4, 0.0)])
+        kinds = [e.kind for e in trace.for_packet(0)]
+        assert kinds == [
+            "injected", "granted", "granted", "granted",
+            "eject-granted", "delivered",
+        ]
+
+    def test_path_replay_matches_xy(self):
+        trace, _ = traced_run([((0, 0), (2, 1), 4, 0.0)])
+        path = trace.path_of(0)
+        assert [ch.direction for ch in path] == [EAST, EAST, NORTH]
+        assert path[0].src == (0, 0)
+        assert path[-1].dst == (2, 1)
+
+    def test_grants_are_chained(self):
+        trace, _ = traced_run([((3, 3), (0, 0), 6, 0.0)], name="negative-first")
+        path = trace.path_of(0)
+        for a, b in zip(path, path[1:]):
+            assert a.dst == b.src
+
+    def test_delivery_event_carries_destination(self):
+        trace, _ = traced_run([((0, 0), (1, 1), 2, 0.0)])
+        delivered = [e for e in trace.events if e.kind == "delivered"]
+        assert delivered[0].detail == (1, 1)
+
+    def test_multiple_packets_distinguished(self):
+        trace, _ = traced_run([
+            ((0, 0), (1, 0), 2, 0.0),
+            ((3, 3), (2, 3), 2, 0.0),
+        ])
+        assert trace.for_packet(0) and trace.for_packet(1)
+        assert {e.pid for e in trace.events} == {0, 1}
+
+
+class TestDeadlockEvent:
+    def test_deadlock_recorded(self):
+        mesh = Mesh2D(4, 4)
+        routing = unrestricted_adaptive_routing(mesh)
+        workload = Workload(
+            pattern=RoutableUniformTraffic(routing),
+            sizes=SizeDistribution.fixed(16),
+            offered_load=0.5,
+            seed=3,
+        )
+        config = SimulationConfig(
+            warmup_cycles=0, measure_cycles=20_000, drain_cycles=0,
+            deadlock_threshold=500,
+        )
+        trace = TraceRecorder()
+        result = WormholeSimulator(routing, workload, config, trace=trace).run()
+        assert result.deadlocked
+        assert trace.kinds()[-1] == "deadlock"
+
+
+class TestRecorderMechanics:
+    def test_cap_enforced(self):
+        recorder = TraceRecorder(max_events=3)
+        for i in range(5):
+            recorder.record(i, "granted", 0)
+        assert len(recorder) == 3
+        assert recorder.truncated
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_events=0)
+
+    def test_str_form(self):
+        recorder = TraceRecorder()
+        recorder.record(12, "delivered", 7, (1, 1))
+        assert "#7 delivered" in str(recorder.events[0])

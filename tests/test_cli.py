@@ -1,0 +1,119 @@
+"""Tests for the turnmodel command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, parse_topology
+from repro.topology import Hypercube, Mesh, Mesh2D, Torus
+
+
+class TestParseTopology:
+    def test_mesh_2d(self):
+        topology = parse_topology("mesh:5x4")
+        assert isinstance(topology, Mesh2D)
+        assert topology.shape == (5, 4)
+
+    def test_mesh_3d(self):
+        topology = parse_topology("mesh:3x3x3")
+        assert isinstance(topology, Mesh)
+        assert topology.shape == (3, 3, 3)
+
+    def test_cube(self):
+        topology = parse_topology("cube:6")
+        assert isinstance(topology, Hypercube)
+        assert topology.n_dims == 6
+
+    def test_torus(self):
+        topology = parse_topology("torus:5x2")
+        assert isinstance(topology, Torus)
+        assert topology.shape == (5, 5)
+
+    def test_missing_size_rejected(self):
+        with pytest.raises(ValueError):
+            parse_topology("mesh")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            parse_topology("ring:8")
+
+
+class TestCommands:
+    def test_tables_theorem1(self, capsys):
+        assert main(["tables", "--which", "theorem1"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out
+        assert "0.25" in out
+
+    def test_tables_pcube(self, capsys):
+        assert main(["tables", "--which", "pcube"]) == 0
+        out = capsys.readouterr().out
+        assert "1011010100" in out
+        assert "3(+2)" in out
+
+    def test_tables_enumeration(self, capsys):
+        assert main(["tables", "--which", "enumeration"]) == 0
+        out = capsys.readouterr().out
+        assert "12 prevent deadlock" in out
+
+    def test_simulate_small(self, capsys):
+        code = main([
+            "simulate", "--topology", "mesh:4x4", "--algorithm", "xy",
+            "--pattern", "uniform", "--load", "0.05",
+            "--warmup", "200", "--measure", "800", "--drain", "200",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "thru=" in out and "lat=" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "negative-first" in out
+        assert "patterns:" in out
+
+    def test_figure_rejects_unknown_number(self, capsys):
+        assert main(["figure", "99"]) == 2
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestNewTopologies:
+    def test_hex_spec(self):
+        from repro.topology import HexMesh
+
+        topology = parse_topology("hex:6x4")
+        assert isinstance(topology, HexMesh)
+        assert topology.shape == (6, 4)
+
+    def test_hex_square_shorthand(self):
+        assert parse_topology("hex:5").shape == (5, 5)
+
+    def test_oct_spec(self):
+        from repro.topology import OctMesh
+
+        topology = parse_topology("oct:4x6")
+        assert isinstance(topology, OctMesh)
+        assert topology.shape == (4, 6)
+
+    def test_simulate_on_hex(self, capsys):
+        code = main([
+            "simulate", "--topology", "hex:4x4",
+            "--algorithm", "hex-negative-first", "--pattern", "uniform",
+            "--load", "0.05", "--warmup", "200", "--measure", "800",
+            "--drain", "200",
+        ])
+        assert code == 0
+        assert "thru=" in capsys.readouterr().out
+
+
+class TestLoadsCommand:
+    def test_static_loads(self, capsys):
+        code = main([
+            "loads", "--topology", "mesh:4x4", "--pattern", "transpose",
+            "--algorithm", "xy", "negative-first",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "saturation bound" in out
+        assert "xy" in out and "negative-first" in out

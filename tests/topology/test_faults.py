@@ -1,0 +1,85 @@
+"""Tests for channel-fault injection."""
+
+import pytest
+
+from repro.core.channel_graph import is_deadlock_free
+from repro.core.directions import EAST, WEST
+from repro.routing import TurnRestrictionRouting, make_routing
+from repro.core.restrictions import west_first_restriction
+from repro.topology import FaultyTopology, Mesh2D, random_channel_faults
+
+
+class TestFaultyTopology:
+    def test_failed_channel_removed(self, mesh44):
+        east = mesh44.channel_in_direction((1, 1), EAST)
+        faulty = FaultyTopology(mesh44, [east])
+        assert east not in faulty.out_channels((1, 1))
+        assert east not in faulty.channels()
+        assert faulty.num_channels == mesh44.num_channels - 1
+
+    def test_reverse_direction_unaffected(self, mesh44):
+        east = mesh44.channel_in_direction((1, 1), EAST)
+        faulty = FaultyTopology(mesh44, [east])
+        west_back = faulty.channel_in_direction((2, 1), WEST)
+        assert west_back is not None
+        assert west_back.dst == (1, 1)
+
+    def test_unknown_channel_rejected(self, mesh44, cube4):
+        foreign = cube4.channels()[0]
+        with pytest.raises(ValueError):
+            FaultyTopology(mesh44, [foreign])
+
+    def test_shape_and_nodes_preserved(self, mesh44):
+        east = mesh44.channel_in_direction((0, 0), EAST)
+        faulty = FaultyTopology(mesh44, [east])
+        assert faulty.shape == mesh44.shape
+        assert list(faulty.nodes()) == list(mesh44.nodes())
+        assert faulty.distance((0, 0), (3, 3)) == 6
+
+    def test_random_faults_reproducible(self, mesh44):
+        a = random_channel_faults(mesh44, 5, seed=2)
+        b = random_channel_faults(mesh44, 5, seed=2)
+        assert a.failed == b.failed
+        assert len(a.failed) == 5
+
+    def test_too_many_faults_rejected(self, mesh44):
+        with pytest.raises(ValueError):
+            random_channel_faults(mesh44, mesh44.num_channels + 1)
+
+
+class TestRoutingUnderFaults:
+    def test_minimal_routing_loses_pairs(self, mesh44):
+        # Fail the only east channel on a shortest path corridor; minimal
+        # west-first from (0, 0) to (1, 0) has no alternative.
+        east = mesh44.channel_in_direction((0, 0), EAST)
+        faulty = FaultyTopology(mesh44, [east])
+        minimal = TurnRestrictionRouting(
+            faulty, west_first_restriction(), minimal=True
+        )
+        assert minimal.route(None, (0, 0), (1, 0)) == ()
+
+    def test_nonminimal_routes_around_fault(self, mesh44):
+        east = mesh44.channel_in_direction((0, 0), EAST)
+        faulty = FaultyTopology(mesh44, [east])
+        nonminimal = TurnRestrictionRouting(
+            faulty, west_first_restriction(), minimal=False
+        )
+        candidates = nonminimal.route(None, (0, 0), (1, 0))
+        assert candidates
+        # Walk to delivery.
+        node, in_ch, hops = (0, 0), None, 0
+        while node != (1, 0):
+            chs = nonminimal.route(in_ch, node, (1, 0))
+            assert chs
+            node, in_ch = chs[0].dst, chs[0]
+            hops += 1
+            assert hops < 20
+        assert hops > 1  # necessarily a detour
+
+    def test_faulty_network_still_deadlock_free(self, mesh44):
+        faulty = random_channel_faults(mesh44, 6, seed=4)
+        routing = TurnRestrictionRouting(
+            faulty, west_first_restriction(), minimal=False
+        )
+        # Removing channels can never reintroduce dependency cycles.
+        assert is_deadlock_free(faulty, routing)

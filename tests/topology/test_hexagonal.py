@@ -1,0 +1,105 @@
+"""Tests for the hexagonal mesh (Section 7 future work)."""
+
+import pytest
+
+from repro.core.directions import Direction
+from repro.topology import HexMesh
+from repro.topology.hexagonal import W_AXIS
+
+
+@pytest.fixture
+def hex55():
+    return HexMesh(5, 5)
+
+
+class TestStructure:
+    def test_shape(self, hex55):
+        assert hex55.shape == (5, 5)
+        assert hex55.num_nodes == 25
+        assert hex55.n_dims == 2
+        assert hex55.axis_count == 3
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            HexMesh(1, 5)
+
+    def test_interior_degree_six(self, hex55):
+        assert len(hex55.out_channels((2, 2))) == 6
+
+    def test_corner_degrees(self, hex55):
+        # (0,0) has +a, +b, +w; (4,4) has -a, -b, -w.
+        assert len(hex55.out_channels((0, 0))) == 3
+        assert len(hex55.out_channels((4, 4))) == 3
+        # The anti-corners have no diagonal at all.
+        assert len(hex55.out_channels((0, 4))) == 2
+        assert len(hex55.out_channels((4, 0))) == 2
+
+    def test_diagonal_channel_moves_both_axes(self, hex55):
+        diag = next(
+            ch for ch in hex55.out_channels((1, 1))
+            if ch.direction == Direction(W_AXIS, 1)
+        )
+        assert diag.dst == (2, 2)
+
+    def test_channels_paired(self, hex55):
+        channels = set(hex55.channels())
+        for ch in channels:
+            assert any(
+                o.src == ch.dst and o.dst == ch.src for o in channels
+            )
+
+
+class TestDistance:
+    def test_same_sign_uses_diagonal(self, hex55):
+        assert hex55.distance((0, 0), (3, 2)) == 3
+        assert hex55.distance((4, 4), (1, 2)) == 3
+
+    def test_mixed_sign_is_manhattan(self, hex55):
+        assert hex55.distance((0, 4), (3, 1)) == 6
+
+    def test_symmetric(self, hex55):
+        for a in hex55.nodes():
+            for b in hex55.nodes():
+                assert hex55.distance(a, b) == hex55.distance(b, a)
+
+    def test_triangle_inequality(self, hex55):
+        nodes = [(0, 0), (2, 3), (4, 1), (3, 3)]
+        for a in nodes:
+            for b in nodes:
+                for c in nodes:
+                    assert hex55.distance(a, c) <= (
+                        hex55.distance(a, b) + hex55.distance(b, c)
+                    )
+
+    def test_matches_bfs(self, hex55):
+        # Cross-check the closed form against graph search.
+        from collections import deque
+
+        src = (1, 3)
+        dist = {src: 0}
+        frontier = deque([src])
+        while frontier:
+            node = frontier.popleft()
+            for ch in hex55.out_channels(node):
+                if ch.dst not in dist:
+                    dist[ch.dst] = dist[node] + 1
+                    frontier.append(ch.dst)
+        for dst, expected in dist.items():
+            assert hex55.distance(src, dst) == expected
+
+
+class TestMinimalDirections:
+    def test_same_sign_offers_diagonal(self, hex55):
+        dirs = set(hex55.minimal_directions((0, 0), (3, 3)))
+        assert dirs == {Direction(W_AXIS, 1)}
+
+    def test_unequal_same_sign_offers_choice(self, hex55):
+        dirs = set(hex55.minimal_directions((0, 0), (3, 1)))
+        assert dirs == {Direction(0, 1), Direction(W_AXIS, 1)}
+
+    def test_mixed_sign_offers_axes_only(self, hex55):
+        dirs = set(hex55.minimal_directions((0, 4), (2, 2)))
+        assert dirs == {Direction(0, 1), Direction(1, -1)}
+
+    def test_empty_at_destination(self, hex55):
+        assert hex55.minimal_directions((2, 2), (2, 2)) == ()

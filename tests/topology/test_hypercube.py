@@ -1,0 +1,78 @@
+"""Tests for the binary hypercube."""
+
+import pytest
+
+from repro.core.directions import Direction
+from repro.topology import Hypercube, bits_to_node, node_to_bits
+
+
+class TestConstruction:
+    def test_shape(self, cube4):
+        assert cube4.shape == (2, 2, 2, 2)
+        assert cube4.num_nodes == 16
+        assert cube4.n_dims == 4
+
+    def test_zero_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Hypercube(0)
+
+
+class TestChannels:
+    def test_every_node_has_n_neighbors(self, cube4):
+        # k = 2: every node has n neighbors (Section 1).
+        for node in cube4.nodes():
+            channels = cube4.out_channels(node)
+            assert len(channels) == 4
+            assert len({ch.direction.dim for ch in channels}) == 4
+
+    def test_channel_count(self):
+        for n in (2, 3, 4):
+            cube = Hypercube(n)
+            assert cube.num_channels == n * 2**n
+
+    def test_neighbors_differ_in_one_bit(self, cube4):
+        for node in cube4.nodes():
+            for ch in cube4.out_channels(node):
+                differing = [i for i in range(4) if ch.src[i] != ch.dst[i]]
+                assert differing == [ch.direction.dim]
+
+    def test_direction_sign_follows_bit(self, cube4):
+        for node in cube4.nodes():
+            for ch in cube4.out_channels(node):
+                dim = ch.direction.dim
+                if node[dim] == 0:
+                    assert ch.direction == Direction(dim, 1)
+                else:
+                    assert ch.direction == Direction(dim, -1)
+
+    def test_no_wraparound_flags(self, cube4):
+        assert not any(ch.wraparound for ch in cube4.channels())
+
+
+class TestDistance:
+    def test_hamming(self, cube4):
+        assert cube4.distance((0, 0, 0, 0), (1, 1, 1, 1)) == 4
+        assert cube4.distance((1, 0, 1, 0), (1, 1, 1, 0)) == 1
+
+    def test_diameter_is_n(self, cube4):
+        diameter = max(
+            cube4.distance(a, b) for a in cube4.nodes() for b in cube4.nodes()
+        )
+        assert diameter == 4
+
+
+class TestBitNotation:
+    def test_roundtrip(self):
+        assert bits_to_node("1011") == (1, 0, 1, 1)
+        assert node_to_bits((1, 0, 1, 1)) == "1011"
+
+    def test_invalid_string_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_node("10x1")
+        with pytest.raises(ValueError):
+            bits_to_node("")
+
+    def test_minimal_directions_are_differing_dims(self, cube4):
+        dirs = cube4.minimal_directions((0, 1, 0, 1), (1, 1, 1, 1))
+        assert {d.dim for d in dirs} == {0, 2}
+        assert all(d.is_positive for d in dirs)

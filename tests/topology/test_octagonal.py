@@ -1,0 +1,95 @@
+"""Tests for the octagonal mesh (Section 7 future work)."""
+
+import pytest
+
+from repro.core.directions import Direction
+from repro.topology import OctMesh
+from repro.topology.octagonal import V_AXIS, W_AXIS
+
+
+@pytest.fixture
+def oct55():
+    return OctMesh(5, 5)
+
+
+class TestStructure:
+    def test_shape(self, oct55):
+        assert oct55.shape == (5, 5)
+        assert oct55.num_nodes == 25
+        assert oct55.axis_count == 4
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            OctMesh(5, 1)
+
+    def test_interior_degree_eight(self, oct55):
+        assert len(oct55.out_channels((2, 2))) == 8
+
+    def test_corner_degree_three(self, oct55):
+        assert len(oct55.out_channels((0, 0))) == 3
+        assert len(oct55.out_channels((0, 4))) == 3
+
+    def test_anti_diagonal_channel(self, oct55):
+        v_pos = next(
+            ch for ch in oct55.out_channels((1, 1))
+            if ch.direction == Direction(V_AXIS, 1)
+        )
+        assert v_pos.dst == (2, 0)
+        v_neg = next(
+            ch for ch in oct55.out_channels((1, 1))
+            if ch.direction == Direction(V_AXIS, -1)
+        )
+        assert v_neg.dst == (0, 2)
+
+    def test_channels_paired(self, oct55):
+        channels = set(oct55.channels())
+        for ch in channels:
+            assert any(o.src == ch.dst and o.dst == ch.src for o in channels)
+
+
+class TestDistance:
+    def test_king_metric(self, oct55):
+        assert oct55.distance((0, 0), (3, 2)) == 3
+        assert oct55.distance((0, 4), (3, 1)) == 3
+        assert oct55.distance((1, 1), (1, 4)) == 3
+
+    def test_matches_bfs(self, oct55):
+        from collections import deque
+
+        src = (2, 1)
+        dist = {src: 0}
+        frontier = deque([src])
+        while frontier:
+            node = frontier.popleft()
+            for ch in oct55.out_channels(node):
+                if ch.dst not in dist:
+                    dist[ch.dst] = dist[node] + 1
+                    frontier.append(ch.dst)
+        for dst, expected in dist.items():
+            assert oct55.distance(src, dst) == expected
+
+
+class TestPotential:
+    def test_every_channel_separated(self, oct55):
+        # The phi potential strictly changes across every channel, with
+        # the sign of the channel's direction — the premise of the
+        # octagonal negative-first proof.
+        for ch in oct55.channels():
+            delta = oct55.potential(ch.dst) - oct55.potential(ch.src)
+            assert delta != 0
+            assert (delta > 0) == ch.direction.is_positive
+
+    def test_lexicographic(self, oct55):
+        assert oct55.potential((0, 0)) == 0
+        assert oct55.potential((1, 0)) == 5
+        assert oct55.potential((0, 4)) == 4
+
+    def test_minimal_directions_reduce_distance(self, oct55):
+        for src in oct55.nodes():
+            for dst in oct55.nodes():
+                if src == dst:
+                    continue
+                here = oct55.distance(src, dst)
+                for direction in oct55.minimal_directions(src, dst):
+                    channel = oct55.channel_in_direction(src, direction)
+                    assert oct55.distance(channel.dst, dst) == here - 1

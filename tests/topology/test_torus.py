@@ -1,0 +1,96 @@
+"""Tests for k-ary n-cubes and the Section 4.2 wraparound classification."""
+
+import pytest
+
+from repro.core.directions import Direction
+from repro.topology import Torus
+
+
+class TestConstruction:
+    def test_shape(self):
+        torus = Torus(4, 3)
+        assert torus.shape == (4, 4, 4)
+        assert torus.num_nodes == 64
+
+    def test_k_below_three_rejected(self):
+        with pytest.raises(ValueError):
+            Torus(2, 3)
+
+    def test_zero_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Torus(4, 0)
+
+
+class TestChannels:
+    def test_every_node_has_exactly_two_channels_per_dim(self, torus42):
+        # k > 2: every node has 2n neighbors (Section 1); an edge node's
+        # missing mesh channel is replaced by its wraparound.
+        for node in torus42.nodes():
+            per_dim = {}
+            for ch in torus42.out_channels(node):
+                per_dim.setdefault(ch.direction.dim, []).append(ch)
+            for dim, chans in per_dim.items():
+                assert len(chans) == 2
+                coord = node[dim]
+                wraps = sum(ch.wraparound for ch in chans)
+                assert wraps == (1 if coord in (0, torus42.k - 1) else 0)
+
+    def test_total_channel_count(self):
+        # A k-ary n-cube has 2 n k^n channels (every node 2 per dimension,
+        # counting wraparounds in place of the missing mesh channels).
+        for k, n in ((3, 2), (4, 2), (3, 3)):
+            torus = Torus(k, n)
+            assert torus.num_channels == 2 * n * k**n
+
+    def test_wraparound_classification_east_edge(self, torus42):
+        # Section 4.2: the east edge node's wraparound is a channel to the
+        # west (negative direction).
+        wraps = [
+            ch for ch in torus42.out_channels((3, 1)) if ch.wraparound
+        ]
+        assert len(wraps) == 1
+        assert wraps[0].dst == (0, 1)
+        assert wraps[0].direction == Direction(0, -1)
+
+    def test_wraparound_classification_west_edge(self, torus42):
+        wraps = [ch for ch in torus42.out_channels((0, 1)) if ch.wraparound]
+        assert len(wraps) == 1
+        assert wraps[0].dst == (3, 1)
+        assert wraps[0].direction == Direction(0, 1)
+
+    def test_corner_has_wraps_in_both_dims(self, torus42):
+        wraps = [ch for ch in torus42.out_channels((0, 0)) if ch.wraparound]
+        assert len(wraps) == 2
+        assert {ch.direction.dim for ch in wraps} == {0, 1}
+
+
+class TestDistance:
+    def test_wraparound_shortens(self, torus42):
+        assert torus42.distance((0, 0), (3, 0)) == 1
+        assert torus42.distance((0, 0), (2, 0)) == 2
+
+    def test_symmetric(self, torus42):
+        for a in torus42.nodes():
+            for b in torus42.nodes():
+                assert torus42.distance(a, b) == torus42.distance(b, a)
+
+    def test_diameter(self):
+        torus = Torus(5, 2)
+        diameter = max(
+            torus.distance(a, b) for a in torus.nodes() for b in torus.nodes()
+        )
+        assert diameter == 4  # floor(5/2) per dimension
+
+
+class TestRingOffset:
+    def test_short_way_positive(self, torus42):
+        assert torus42.ring_offset(0, 1) == 1
+
+    def test_short_way_negative(self, torus42):
+        assert torus42.ring_offset(0, 3) == -1
+
+    def test_tie_reports_positive(self, torus42):
+        assert torus42.ring_offset(0, 2) == 2
+
+    def test_zero(self, torus42):
+        assert torus42.ring_offset(2, 2) == 0

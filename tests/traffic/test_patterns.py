@@ -1,0 +1,91 @@
+"""Tests for traffic patterns and destination distributions."""
+
+import random
+
+import pytest
+
+from repro.topology import Hypercube, Mesh2D
+from repro.traffic import HotspotTraffic, PermutationTraffic, UniformTraffic
+
+
+class TestUniform:
+    def test_never_sends_to_self(self, mesh44):
+        pattern = UniformTraffic(mesh44)
+        rng = random.Random(0)
+        for _ in range(500):
+            src = (1, 1)
+            assert pattern.destination(src, rng) != src
+
+    def test_covers_all_other_nodes(self, mesh44):
+        pattern = UniformTraffic(mesh44)
+        rng = random.Random(0)
+        seen = {pattern.destination((0, 0), rng) for _ in range(2000)}
+        assert len(seen) == mesh44.num_nodes - 1
+
+    def test_distribution_weights(self, mesh44):
+        pattern = UniformTraffic(mesh44)
+        dist = pattern.destination_distribution((0, 0))
+        assert len(dist) == 15
+        assert all(w == pytest.approx(1 / 15) for _, w in dist)
+
+    def test_all_sources_active(self, mesh44):
+        assert len(UniformTraffic(mesh44).active_sources()) == 16
+
+    def test_two_node_network_supported(self):
+        # The smallest network (a 1-cube) still has a valid uniform
+        # pattern: each node sends to the other.
+        pattern = UniformTraffic(Hypercube(1))
+        rng = random.Random(0)
+        assert pattern.destination((0,), rng) == (1,)
+        assert pattern.destination((1,), rng) == (0,)
+
+    def test_mean_minimal_hops_6x6(self):
+        # Mean uniform distance (self excluded) of a k x k mesh is
+        # 2 (k^2 - 1) / (3 k) * k^2/(k^2 - 1)-ish; just pin the value.
+        mesh = Mesh2D(6, 6)
+        hops = UniformTraffic(mesh).mean_minimal_hops()
+        assert hops == pytest.approx(4.0, abs=0.2)
+
+
+class TestPermutation:
+    def test_fixed_points_generate_no_traffic(self, mesh44):
+        pattern = PermutationTraffic(mesh44, lambda n: n, "identity")
+        rng = random.Random(0)
+        assert pattern.destination((1, 1), rng) is None
+        assert pattern.active_sources() == []
+
+    def test_out_of_range_image_rejected(self, mesh44):
+        with pytest.raises(ValueError):
+            PermutationTraffic(mesh44, lambda n: (n[0] + 10, n[1]), "bad")
+
+    def test_deterministic(self, mesh44):
+        pattern = PermutationTraffic(
+            mesh44, lambda n: ((n[0] + 1) % 4, n[1]), "shift"
+        )
+        rng = random.Random(0)
+        assert pattern.destination((0, 0), rng) == (1, 0)
+        assert pattern.destination((0, 0), rng) == (1, 0)
+
+
+class TestHotspot:
+    def test_fraction_redirected(self, mesh44):
+        pattern = HotspotTraffic(mesh44, hotspot=(2, 2), hotspot_fraction=0.5)
+        rng = random.Random(1)
+        hits = sum(
+            pattern.destination((0, 0), rng) == (2, 2) for _ in range(2000)
+        )
+        assert 850 < hits < 1250
+
+    def test_hotspot_node_sends_uniform(self, mesh44):
+        pattern = HotspotTraffic(mesh44, hotspot=(2, 2), hotspot_fraction=1.0)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert pattern.destination((2, 2), rng) != (2, 2)
+
+    def test_invalid_fraction_rejected(self, mesh44):
+        with pytest.raises(ValueError):
+            HotspotTraffic(mesh44, hotspot=(0, 0), hotspot_fraction=1.5)
+
+    def test_invalid_hotspot_rejected(self, mesh44):
+        with pytest.raises(ValueError):
+            HotspotTraffic(mesh44, hotspot=(9, 9))

@@ -1,0 +1,149 @@
+"""Tests for the paper's permutation workloads."""
+
+import random
+
+import pytest
+
+from repro.topology import Hypercube, Mesh2D, Torus
+from repro.traffic.permutations import (
+    bit_complement,
+    bit_reverse,
+    hypercube_transpose,
+    make_pattern,
+    mesh_transpose,
+    mesh_transpose_diagonal,
+    perfect_shuffle,
+    reverse_flip,
+    tornado,
+)
+
+RNG = random.Random(0)
+
+
+class TestMeshTranspose:
+    def test_anti_diagonal_formula(self):
+        # Matrix rows grow southward: row i, col j -> node (j, n-1-i), so
+        # the transpose is (x, y) -> (n-1-y, n-1-x).
+        pattern = mesh_transpose(Mesh2D(4, 4))
+        assert pattern.destination((0, 0), RNG) == (3, 3)
+        assert pattern.destination((1, 0), RNG) == (3, 2)
+        assert pattern.destination((3, 1), RNG) == (2, 0)
+
+    def test_displacement_is_equal_in_both_dims(self):
+        # The property that makes negative-first fully adaptive on every
+        # transpose pair: dx == dy.
+        mesh = Mesh2D(8, 8)
+        pattern = mesh_transpose(mesh)
+        for src in mesh.nodes():
+            dst = pattern.destination(src, RNG)
+            if dst is None:
+                continue
+            assert dst[0] - src[0] == dst[1] - src[1]
+
+    def test_anti_diagonal_nodes_silent(self):
+        pattern = mesh_transpose(Mesh2D(4, 4))
+        assert pattern.destination((0, 3), RNG) is None
+        assert pattern.destination((2, 1), RNG) is None
+
+    def test_is_an_involution(self):
+        mesh = Mesh2D(6, 6)
+        pattern = mesh_transpose(mesh)
+        for src in mesh.nodes():
+            dst = pattern.destination(src, RNG)
+            if dst is not None:
+                assert pattern.destination(dst, RNG) == src
+
+    def test_needs_square_mesh(self):
+        with pytest.raises(ValueError):
+            mesh_transpose(Mesh2D(4, 5))
+
+    def test_mean_hops_match_paper(self):
+        # Section 6: 11.34 hops for transpose in the 16x16 mesh.
+        pattern = mesh_transpose(Mesh2D(16, 16))
+        assert pattern.mean_minimal_hops() == pytest.approx(11.33, abs=0.05)
+
+    def test_diagonal_variant_mirrors(self):
+        pattern = mesh_transpose_diagonal(Mesh2D(4, 4))
+        assert pattern.destination((1, 0), RNG) == (0, 1)
+        assert pattern.destination((2, 2), RNG) is None
+
+
+class TestHypercubeTranspose:
+    def test_paper_formula(self):
+        # (x0..x7) -> (~x4, x5, x6, x7, ~x0, x1, x2, x3).
+        pattern = hypercube_transpose(Hypercube(8))
+        src = (1, 0, 1, 1, 0, 1, 0, 0)
+        expected = (1, 1, 0, 0, 0, 0, 1, 1)
+        assert pattern.destination(src, RNG) == expected
+
+    def test_mean_hops_match_paper(self):
+        # Section 6 implies transpose distance ~4.27 in the 8-cube... the
+        # paper quotes 4.27 only for reverse-flip; transpose is close.
+        pattern = hypercube_transpose(Hypercube(8))
+        assert 4.0 < pattern.mean_minimal_hops() < 4.6
+
+    def test_odd_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            hypercube_transpose(Hypercube(5))
+
+    def test_is_an_involution(self):
+        cube = Hypercube(6)
+        pattern = hypercube_transpose(cube)
+        for src in cube.nodes():
+            dst = pattern.destination(src, RNG)
+            if dst is not None:
+                assert pattern.destination(dst, RNG) == src
+
+
+class TestReverseFlip:
+    def test_formula(self):
+        pattern = reverse_flip(Hypercube(8))
+        src = (1, 0, 1, 1, 0, 1, 0, 0)
+        expected = (1, 1, 0, 1, 0, 0, 1, 0)
+        assert pattern.destination(src, RNG) == expected
+
+    def test_mean_hops_match_paper(self):
+        # Section 6: 4.27 hops for reverse-flip in the 8-cube.
+        pattern = reverse_flip(Hypercube(8))
+        assert pattern.mean_minimal_hops() == pytest.approx(4.27, abs=0.02)
+
+    def test_no_fixed_points_in_even_cube(self):
+        # x == reverse(~x) requires x_i != x_{n-1-i} for all i; count them.
+        cube = Hypercube(6)
+        pattern = reverse_flip(cube)
+        silent = [n for n in cube.nodes() if pattern.destination(n, RNG) is None]
+        # Fixed points exist: e.g. 000111 reversed+flipped is itself.
+        assert len(silent) == 2**3
+
+
+class TestOtherPermutations:
+    def test_bit_complement(self):
+        pattern = bit_complement(Hypercube(4))
+        assert pattern.destination((0, 1, 0, 1), RNG) == (1, 0, 1, 0)
+
+    def test_bit_complement_distance_is_n(self):
+        cube = Hypercube(5)
+        assert bit_complement(cube).mean_minimal_hops() == 5.0
+
+    def test_bit_reverse(self):
+        pattern = bit_reverse(Hypercube(4))
+        assert pattern.destination((1, 0, 0, 0), RNG) == (0, 0, 0, 1)
+
+    def test_shuffle(self):
+        pattern = perfect_shuffle(Hypercube(4))
+        assert pattern.destination((1, 0, 1, 0), RNG) == (0, 1, 0, 1)
+
+    def test_tornado_on_torus(self):
+        torus = Torus(8, 2)
+        pattern = tornado(torus)
+        assert pattern.destination((0, 0), RNG) == (3, 0)
+
+    def test_make_pattern_dispatch(self):
+        mesh = Mesh2D(4, 4)
+        cube = Hypercube(4)
+        assert make_pattern("transpose", mesh).name == "transpose"
+        assert make_pattern("transpose", cube).name == "transpose"
+        assert make_pattern("uniform", mesh).name == "uniform"
+        assert make_pattern("transpose-diagonal", mesh).name == "transpose-diagonal"
+        with pytest.raises(ValueError):
+            make_pattern("mystery", mesh)

@@ -1,0 +1,127 @@
+"""Tests for message generation: sizes and arrival process."""
+
+import random
+
+import pytest
+
+from repro.topology import Mesh2D
+from repro.traffic import PAPER_SIZES, SizeDistribution, UniformTraffic, Workload
+from repro.traffic.workload import NodeSource
+
+
+class TestSizeDistribution:
+    def test_paper_mix(self):
+        # Equal probability of 10 or 200 flits (Section 6).
+        assert PAPER_SIZES.mean == pytest.approx(105.0)
+        assert dict(PAPER_SIZES.choices) == {10: 0.5, 200: 0.5}
+
+    def test_sampling_hits_both_sizes(self):
+        rng = random.Random(0)
+        sizes = {PAPER_SIZES.sample(rng) for _ in range(200)}
+        assert sizes == {10, 200}
+
+    def test_sampling_roughly_balanced(self):
+        rng = random.Random(1)
+        draws = [PAPER_SIZES.sample(rng) for _ in range(4000)]
+        fraction_small = draws.count(10) / len(draws)
+        assert 0.45 < fraction_small < 0.55
+
+    def test_fixed(self):
+        dist = SizeDistribution.fixed(32)
+        assert dist.mean == 32
+        assert dist.sample(random.Random(0)) == 32
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            SizeDistribution(((10, 0.5), (20, 0.4)))
+
+    def test_sizes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SizeDistribution(((0, 1.0),))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SizeDistribution(())
+
+
+class TestNodeSource:
+    def _source(self, rate, seed=0):
+        mesh = Mesh2D(4, 4)
+        return NodeSource(
+            (0, 0), UniformTraffic(mesh), SizeDistribution.fixed(8), rate,
+            random.Random(seed),
+        )
+
+    def test_zero_rate_never_fires(self):
+        source = self._source(0.0)
+        for cycle in range(0, 10_000, 1000):
+            assert source.poll(cycle) == []
+
+    def test_rate_matches_poisson_mean(self):
+        rate = 0.02
+        source = self._source(rate, seed=3)
+        arrivals = []
+        for cycle in range(20_000):
+            arrivals.extend(source.poll(cycle))
+        expected = rate * 20_000
+        assert expected * 0.85 < len(arrivals) < expected * 1.15
+
+    def test_arrival_times_monotone_and_within_poll(self):
+        source = self._source(0.05, seed=4)
+        last = -1.0
+        for cycle in range(2_000):
+            for _, _, when in source.poll(cycle):
+                assert when <= cycle
+                assert when > last
+                last = when
+
+    def test_interarrivals_look_exponential(self):
+        source = self._source(0.05, seed=5)
+        times = []
+        for cycle in range(40_000):
+            times.extend(when for _, _, when in source.poll(cycle))
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        assert mean_gap == pytest.approx(1 / 0.05, rel=0.1)
+        # Coefficient of variation of an exponential is 1.
+        var = sum((g - mean_gap) ** 2 for g in gaps) / len(gaps)
+        assert (var ** 0.5) / mean_gap == pytest.approx(1.0, abs=0.15)
+
+
+class TestWorkload:
+    def test_rate_derivation(self, mesh44):
+        workload = Workload(
+            pattern=UniformTraffic(mesh44), offered_load=0.21
+        )
+        assert workload.messages_per_node_per_cycle == pytest.approx(0.21 / 105.0)
+
+    def test_one_source_per_node(self, mesh44):
+        workload = Workload(pattern=UniformTraffic(mesh44), offered_load=0.1)
+        sources = workload.sources()
+        assert len(sources) == 16
+        assert {s.node for s in sources} == set(mesh44.nodes())
+
+    def test_sources_use_independent_streams(self, mesh44):
+        workload = Workload(pattern=UniformTraffic(mesh44), offered_load=0.5)
+        sources = workload.sources()
+        first = [sources[0].poll(c) for c in range(300)]
+        second = [sources[1].poll(c) for c in range(300)]
+        assert first != second
+
+    def test_negative_load_rejected(self, mesh44):
+        with pytest.raises(ValueError):
+            Workload(pattern=UniformTraffic(mesh44), offered_load=-0.1)
+
+    def test_seed_reproducibility(self, mesh44):
+        def arrivals(seed):
+            workload = Workload(
+                pattern=UniformTraffic(mesh44), offered_load=0.3, seed=seed
+            )
+            out = []
+            for source in workload.sources():
+                for cycle in range(200):
+                    out.extend(source.poll(cycle))
+            return out
+
+        assert arrivals(5) == arrivals(5)
+        assert arrivals(5) != arrivals(6)
