@@ -2,16 +2,20 @@
 """Run every performance figure at the paper's 256-node scale.
 
 Produces the numbers recorded in EXPERIMENTS.md.  Expect tens of minutes
-in pure Python; pass ``--preset mid`` for a faster pass at the same
-topology sizes with shorter windows.
+in pure Python serially; ``--jobs N`` fans simulation points out over N
+worker processes, and ``--cache-dir DIR`` lets an interrupted run resume
+without resimulating finished points.  Pass ``--preset mid`` for a
+faster pass at the same topology sizes with shorter windows.
 
-Run:  python scripts/run_paper_scale.py [--preset paper|mid] [--out results.txt]
+Run:  python scripts/run_paper_scale.py [--preset paper|mid]
+          [--jobs N] [--cache-dir DIR] [--out results.txt]
 """
 
 import argparse
 import sys
 import time
 
+from repro.analysis.executor import ProgressPrinter, SweepExecutor
 from repro.experiments import figure13, figure14, figure15, figure16
 from repro.experiments.tables import path_length_table
 
@@ -21,21 +25,32 @@ def main() -> None:
     parser.add_argument("--preset", default="paper", choices=["quick", "mid", "paper"])
     parser.add_argument("--out", default=None)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel worker processes")
+    parser.add_argument("--cache-dir", default=None,
+                        help="reuse cached simulation points across runs")
+    parser.add_argument("--progress", action="store_true",
+                        help="narrate per-point progress on stderr")
     args = parser.parse_args()
 
     out = open(args.out, "w") if args.out else sys.stdout
+    executor = SweepExecutor(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        hooks=ProgressPrinter() if args.progress else None,
+    )
 
     def emit(text=""):
         print(text, file=out, flush=True)
 
-    emit(f"preset: {args.preset}   seed: {args.seed}")
+    emit(f"preset: {args.preset}   seed: {args.seed}   jobs: {args.jobs}")
     emit()
     emit("Section 6 path lengths:")
     emit(path_length_table())
     emit()
     for driver in (figure13, figure14, figure15, figure16):
         started = time.time()
-        result = driver(preset=args.preset, seed=args.seed)
+        result = driver(preset=args.preset, seed=args.seed, executor=executor)
         emit(result.render())
         emit(f"[{driver.__name__} took {time.time() - started:.0f}s]")
         emit()

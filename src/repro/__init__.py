@@ -16,17 +16,20 @@ The package is organized as the paper is:
   paper's Section 6 evaluation.
 * :mod:`repro.traffic` — uniform, matrix-transpose, reverse-flip, and
   other workloads.
-* :mod:`repro.analysis` — load sweeps, sustainable-throughput search,
-  text reports.
+* :mod:`repro.analysis` — load sweeps, the parallel sweep executor and
+  its on-disk result cache, sustainable-throughput search, text reports.
 * :mod:`repro.experiments` — one driver per paper table and figure.
+* :mod:`repro.api` — the stable facade programmatic users should import
+  from (:class:`~repro.analysis.executor.ExperimentSpec`,
+  :class:`~repro.analysis.executor.SweepExecutor`, ``simulate``,
+  ``sweep_loads``, ``parse_topology``, the registries).
 
 Quickstart::
 
-    from repro.topology import Mesh2D
-    from repro.sim import simulate
+    from repro.api import parse_topology, simulate
 
-    result = simulate(Mesh2D(8, 8), "negative-first", "transpose",
-                      offered_load=0.1)
+    result = simulate(parse_topology("mesh:8x8"), "negative-first",
+                      "transpose", offered_load=0.1)
     print(result.summary())
 """
 

@@ -5,6 +5,20 @@ from repro.analysis.channel_load import (
     channel_loads,
     load_report,
 )
+from repro.analysis.executor import (
+    ConfigSpec,
+    ExecutorHooks,
+    ExecutorMetrics,
+    ExperimentSpec,
+    PointOutcome,
+    PointSpec,
+    ProgressPrinter,
+    ResolvedSpec,
+    ResultCache,
+    SweepExecutor,
+    resolve_spec,
+    run_spec,
+)
 from repro.analysis.fault_tolerance import (
     FaultSweepPoint,
     fault_tolerance_sweep,
@@ -19,12 +33,33 @@ from repro.analysis.results_io import (
     save_json,
     series_from_dict,
     series_to_dict,
+    sweep_run_from_dict,
+    sweep_run_to_dict,
 )
 from repro.analysis.report import format_table, render_comparison, render_series_table
 from repro.analysis.sustainable import find_sustainable_load
-from repro.analysis.sweep import SweepPoint, SweepSeries, default_loads, sweep_loads
+from repro.analysis.sweep import (
+    SweepPoint,
+    SweepSeries,
+    default_loads,
+    sweep_loads,
+    truncate_at_saturation,
+)
 
 __all__ = [
+    "ConfigSpec",
+    "ExperimentSpec",
+    "PointSpec",
+    "PointOutcome",
+    "ResolvedSpec",
+    "resolve_spec",
+    "run_spec",
+    "SweepExecutor",
+    "ResultCache",
+    "ExecutorHooks",
+    "ExecutorMetrics",
+    "ProgressPrinter",
+    "truncate_at_saturation",
     "ChannelLoadReport",
     "channel_loads",
     "load_report",
@@ -45,6 +80,8 @@ __all__ = [
     "series_from_dict",
     "figure_to_dict",
     "figure_from_dict",
+    "sweep_run_to_dict",
+    "sweep_run_from_dict",
     "save_json",
     "load_figure",
 ]

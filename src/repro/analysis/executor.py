@@ -1,0 +1,650 @@
+"""Parallel sweep execution with on-disk result caching.
+
+Every paper figure and benchmark is a grid of independent
+``(routing, pattern, load)`` simulation points — an embarrassingly
+parallel workload that the serial :func:`repro.analysis.sweep.sweep_loads`
+loop leaves on the table.  This module supplies the execution engine the
+rest of the harness routes through:
+
+* :class:`ExperimentSpec` — a frozen, picklable, content-hashable
+  description of one simulation point (topology spec string, routing
+  name, pattern name, load, packet sizes, config, seed).  Because it is
+  all primitives, it crosses process boundaries and hashes stably.
+* :class:`PointSpec` — one executor job: a spec plus the series label
+  and index that route its result back into a sweep.
+* :class:`ResultCache` — an on-disk store keyed by the spec's content
+  hash, so re-running a figure only simulates the missing points.
+* :class:`SweepExecutor` — fans points out over a
+  :mod:`concurrent.futures` process pool (``jobs > 1``) or runs them
+  in-process (``jobs == 1``, the deterministic default for tests), with
+  progress/metrics surfaced through :class:`ExecutorHooks`.
+
+Per-point results are bit-identical between the serial and parallel
+paths because each point is simulated from its spec alone: same seeds,
+same config, no shared mutable state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, TextIO, Tuple, Union
+
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.registry import canonical_name, make_routing
+from repro.routing.selection import make_input_policy, make_output_policy
+from repro.sim.config import FLITS_PER_USEC, SimulationConfig
+from repro.sim.simulator import simulate
+from repro.sim.stats import SimulationResult
+from repro.topology.base import Topology
+from repro.topology.spec import parse_topology, topology_spec
+from repro.traffic.patterns import TrafficPattern
+from repro.traffic.permutations import make_pattern
+from repro.traffic.workload import PAPER_SIZES, SizeDistribution
+
+__all__ = [
+    "SPEC_VERSION",
+    "ConfigSpec",
+    "ExperimentSpec",
+    "PointSpec",
+    "PointOutcome",
+    "ResolvedSpec",
+    "resolve_spec",
+    "run_spec",
+    "ExecutorHooks",
+    "ExecutorMetrics",
+    "ProgressPrinter",
+    "ResultCache",
+    "SweepExecutor",
+]
+
+#: Version tag mixed into every content hash.  Bump it when simulator
+#: semantics change in a way that invalidates archived results.
+SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ConfigSpec:
+    """A :class:`SimulationConfig` flattened to hashable primitives.
+
+    Selection policies are carried by registry name rather than by
+    instance so the spec can be pickled to workers and content-hashed.
+    Field defaults mirror :class:`SimulationConfig`'s.
+    """
+
+    buffer_depth: int = 1
+    warmup_cycles: int = 2_000
+    measure_cycles: int = 10_000
+    drain_cycles: int = 4_000
+    output_policy: str = "xy"
+    input_policy: str = "fcfs"
+    routing_delay_cycles: int = 1
+    deadlock_threshold: int = 2_000
+    flits_per_usec: float = FLITS_PER_USEC
+    seed: int = 1
+    max_packets: Optional[int] = None
+
+    @classmethod
+    def from_config(cls, config: Optional[SimulationConfig]) -> "ConfigSpec":
+        """Flatten a config; ``None`` yields the defaults.
+
+        Raises:
+            ValueError: if a selection policy is not a registered one
+                (custom policy instances cannot be carried by name).
+        """
+        if config is None:
+            return cls()
+        output_name = config.output_policy.name
+        input_name = config.input_policy.name
+        # Verify the names round-trip to the same policy types, so a
+        # custom instance that borrowed a stock name is not silently
+        # swapped for the stock behavior in a worker process.
+        if type(make_output_policy(output_name)) is not type(config.output_policy):
+            raise ValueError(
+                f"output policy {output_name!r} is not the registered one"
+            )
+        if type(make_input_policy(input_name)) is not type(config.input_policy):
+            raise ValueError(
+                f"input policy {input_name!r} is not the registered one"
+            )
+        return cls(
+            buffer_depth=config.buffer_depth,
+            warmup_cycles=config.warmup_cycles,
+            measure_cycles=config.measure_cycles,
+            drain_cycles=config.drain_cycles,
+            output_policy=output_name,
+            input_policy=input_name,
+            routing_delay_cycles=config.routing_delay_cycles,
+            deadlock_threshold=config.deadlock_threshold,
+            flits_per_usec=config.flits_per_usec,
+            seed=config.seed,
+            max_packets=config.max_packets,
+        )
+
+    def to_config(self) -> SimulationConfig:
+        """Rebuild the equivalent :class:`SimulationConfig`."""
+        return SimulationConfig(
+            buffer_depth=self.buffer_depth,
+            warmup_cycles=self.warmup_cycles,
+            measure_cycles=self.measure_cycles,
+            drain_cycles=self.drain_cycles,
+            output_policy=make_output_policy(self.output_policy),
+            input_policy=make_input_policy(self.input_policy),
+            routing_delay_cycles=self.routing_delay_cycles,
+            deadlock_threshold=self.deadlock_threshold,
+            flits_per_usec=self.flits_per_usec,
+            seed=self.seed,
+            max_packets=self.max_packets,
+        )
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles one simulation of this config runs."""
+        return self.warmup_cycles + self.measure_cycles + self.drain_cycles
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One simulation point as pure data.
+
+    Attributes:
+        topology: topology spec string (``"mesh:16x16"``, ``"cube:8"``).
+        routing: routing algorithm registry name.
+        pattern: traffic pattern registry name.
+        load: offered load in flits per node per cycle.
+        sizes: packet-size distribution as ``(size, probability)`` pairs.
+        config: simulator configuration as primitives.
+        seed: workload RNG seed.
+
+    Names are canonicalized on construction, so specs built from alias
+    spellings (``"negative_first"``) hash identically to the canonical
+    form.
+    """
+
+    topology: str
+    routing: str
+    pattern: str
+    load: float
+    sizes: Tuple[Tuple[int, float], ...] = PAPER_SIZES.choices
+    config: ConfigSpec = field(default_factory=ConfigSpec)
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "topology", self.topology.strip().lower())
+        object.__setattr__(self, "routing", canonical_name(self.routing))
+        object.__setattr__(self, "pattern", canonical_name(self.pattern))
+        object.__setattr__(
+            self, "sizes", tuple((int(s), float(p)) for s, p in self.sizes)
+        )
+        object.__setattr__(self, "load", float(self.load))
+
+    def size_distribution(self) -> SizeDistribution:
+        """The :class:`SizeDistribution` these sizes describe."""
+        return SizeDistribution(self.sizes)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready dict; inverse of :meth:`from_dict`."""
+        payload = dataclasses.asdict(self)
+        payload["sizes"] = [list(pair) for pair in self.sizes]
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        """Rebuild a spec saved by :meth:`to_dict`."""
+        payload = dict(data)
+        payload["sizes"] = tuple(tuple(pair) for pair in payload["sizes"])
+        payload["config"] = ConfigSpec(**payload["config"])
+        return cls(**payload)
+
+    def canonical_json(self) -> str:
+        """A canonical serialization: stable key order, no whitespace."""
+        payload = {"version": SPEC_VERSION, "spec": self.to_dict()}
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """SHA-256 of the canonical serialization.
+
+        Stable across processes and interpreter runs (no ``PYTHONHASHSEED``
+        dependence), so it is safe as a cache key.
+        """
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    def resolve(self) -> "ResolvedSpec":
+        """Instantiate the live objects this spec names."""
+        topology = parse_topology(self.topology)
+        return ResolvedSpec(
+            spec=self,
+            topology=topology,
+            routing=make_routing(self.routing, topology),
+            pattern=make_pattern(self.pattern, topology),
+            sizes=self.size_distribution(),
+            config=self.config.to_config(),
+        )
+
+    def run(self) -> SimulationResult:
+        """Simulate this point and return its result."""
+        resolved = self.resolve()
+        return simulate(
+            resolved.topology,
+            resolved.routing,
+            resolved.pattern,
+            offered_load=self.load,
+            sizes=resolved.sizes,
+            config=resolved.config,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class ResolvedSpec:
+    """The live objects an :class:`ExperimentSpec` names."""
+
+    spec: ExperimentSpec
+    topology: Topology
+    routing: RoutingAlgorithm
+    pattern: TrafficPattern
+    sizes: SizeDistribution
+    config: SimulationConfig
+
+
+def resolve_spec(spec: ExperimentSpec) -> ResolvedSpec:
+    """Instantiate the topology, routing, pattern, sizes, and config.
+
+    The functional spelling of :meth:`ExperimentSpec.resolve`, exported
+    through :mod:`repro.api` for programmatic users who want the live
+    objects without running the simulation.
+    """
+    return spec.resolve()
+
+
+def run_spec(spec: ExperimentSpec) -> SimulationResult:
+    """Simulate one spec in-process and return its result."""
+    return spec.run()
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One executor job: a spec plus routing metadata.
+
+    Attributes:
+        spec: the simulation point to run.
+        series: label of the sweep series the point belongs to (usually
+            the algorithm name); informational, not hashed.
+        index: position within its series; informational, not hashed.
+    """
+
+    spec: ExperimentSpec
+    series: str = ""
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """One completed point.
+
+    Attributes:
+        point: the job that ran.
+        result: the simulation result (from the cache or a fresh run).
+        wall_time_s: seconds the simulation took; 0.0 for cache hits.
+        cached: whether the result came from the cache.
+    """
+
+    point: PointSpec
+    result: SimulationResult
+    wall_time_s: float
+    cached: bool
+
+
+@dataclass
+class ExecutorMetrics:
+    """Counters one :meth:`SweepExecutor.run_points` call accumulates."""
+
+    points_total: int = 0
+    points_completed: int = 0
+    cache_hits: int = 0
+    simulated: int = 0
+    cycles_simulated: int = 0
+    wall_time_s: float = 0.0
+
+
+class ExecutorHooks:
+    """Progress callbacks; subclass and override what you need.
+
+    The executor calls these from the coordinating process only (never
+    from workers), in completion order — which under ``jobs > 1`` is not
+    submission order.
+    """
+
+    def on_run_start(self, total_points: int) -> None:
+        """Called once before any point runs."""
+
+    def on_point_start(self, point: PointSpec) -> None:
+        """Called when a point is dispatched (not for cache hits)."""
+
+    def on_point_done(self, outcome: PointOutcome) -> None:
+        """Called as each point completes (cache hits included)."""
+
+    def on_run_end(self, metrics: ExecutorMetrics) -> None:
+        """Called once after every point has completed."""
+
+
+class ProgressPrinter(ExecutorHooks):
+    """Hooks that narrate progress, one line per completed point."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        import sys
+
+        self.stream = stream if stream is not None else sys.stderr
+        self._total = 0
+        self._done = 0
+
+    def on_run_start(self, total_points: int) -> None:
+        self._total = total_points
+        self._done = 0
+
+    def on_point_done(self, outcome: PointOutcome) -> None:
+        self._done += 1
+        spec = outcome.point.spec
+        source = "cache" if outcome.cached else f"{outcome.wall_time_s:.1f}s"
+        print(
+            f"[{self._done}/{self._total}] {spec.routing} {spec.pattern} "
+            f"load={spec.load:g} ({source})",
+            file=self.stream,
+            flush=True,
+        )
+
+    def on_run_end(self, metrics: ExecutorMetrics) -> None:
+        print(
+            f"done: {metrics.points_completed} points "
+            f"({metrics.cache_hits} cached, {metrics.simulated} simulated, "
+            f"{metrics.cycles_simulated} cycles) "
+            f"in {metrics.wall_time_s:.1f}s",
+            file=self.stream,
+            flush=True,
+        )
+
+
+class ResultCache:
+    """On-disk result store keyed by spec content hash.
+
+    One JSON file per point, named ``<hash>.json``, holding both the
+    spec (for auditability and collision detection) and the result.
+    Writes are atomic (temp file + rename), so a cache directory shared
+    by concurrent runs stays consistent.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        """Where this spec's result lives (whether or not it exists)."""
+        return self.root / f"{spec.content_hash()}.json"
+
+    def load(self, spec: ExperimentSpec) -> Optional[SimulationResult]:
+        """The cached result, or ``None`` on a miss or a corrupt entry."""
+        from repro.analysis.results_io import result_from_dict
+
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("spec") != spec.to_dict():
+            return None
+        try:
+            return result_from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store(self, spec: ExperimentSpec, result: SimulationResult) -> None:
+        """Persist one result atomically."""
+        from repro.analysis.results_io import result_to_dict
+
+        path = self.path_for(spec)
+        payload = {
+            "version": SPEC_VERSION,
+            "spec": spec.to_dict(),
+            "result": result_to_dict(result),
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+def _run_point_job(spec: ExperimentSpec) -> Tuple[SimulationResult, float]:
+    """Worker entry point: simulate one spec, timing it.
+
+    Module-level so it pickles under every multiprocessing start method.
+    """
+    started = time.perf_counter()
+    result = spec.run()
+    return result, time.perf_counter() - started
+
+
+class SweepExecutor:
+    """Runs simulation points, optionally in parallel and cached.
+
+    Args:
+        jobs: worker processes; ``1`` (the default) runs every point
+            in-process with no pool, which is the deterministic path
+            tests use.
+        cache_dir: directory for the on-disk result cache; ``None``
+            disables caching.
+        hooks: progress callbacks; defaults to silent.
+
+    Results are identical for any ``jobs`` value: each point is fully
+    determined by its spec.  The executor only changes where and when
+    points run.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        hooks: Optional[ExecutorHooks] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.hooks = hooks if hooks is not None else ExecutorHooks()
+        self.last_metrics: Optional[ExecutorMetrics] = None
+
+    # -- core ---------------------------------------------------------
+
+    def run_points(self, points: Sequence[PointSpec]) -> List[PointOutcome]:
+        """Run every point and return outcomes in input order."""
+        started = time.perf_counter()
+        metrics = ExecutorMetrics(points_total=len(points))
+        self.hooks.on_run_start(len(points))
+        outcomes: List[Optional[PointOutcome]] = [None] * len(points)
+
+        if self.jobs == 1:
+            for i, point in enumerate(points):
+                outcomes[i] = self._execute_one(point, metrics)
+        else:
+            missing: List[int] = []
+            for i, point in enumerate(points):
+                outcome = self._from_cache(point, metrics)
+                if outcome is not None:
+                    outcomes[i] = outcome
+                else:
+                    missing.append(i)
+            if missing:
+                self._run_parallel(points, missing, outcomes, metrics)
+
+        self._finish(metrics, started)
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def _finish(self, metrics: ExecutorMetrics, started: float) -> None:
+        metrics.wall_time_s = time.perf_counter() - started
+        self.last_metrics = metrics
+        self.hooks.on_run_end(metrics)
+
+    def _from_cache(
+        self, point: PointSpec, metrics: ExecutorMetrics
+    ) -> Optional[PointOutcome]:
+        cached = (
+            self.cache.load(point.spec) if self.cache is not None else None
+        )
+        if cached is None:
+            return None
+        outcome = PointOutcome(point, cached, 0.0, True)
+        metrics.cache_hits += 1
+        metrics.points_completed += 1
+        self.hooks.on_point_done(outcome)
+        return outcome
+
+    def _complete_fresh(
+        self,
+        point: PointSpec,
+        result: SimulationResult,
+        wall_time: float,
+        metrics: ExecutorMetrics,
+    ) -> PointOutcome:
+        if self.cache is not None:
+            self.cache.store(point.spec, result)
+        outcome = PointOutcome(point, result, wall_time, False)
+        metrics.simulated += 1
+        metrics.points_completed += 1
+        metrics.cycles_simulated += point.spec.config.total_cycles
+        self.hooks.on_point_done(outcome)
+        return outcome
+
+    def _execute_one(
+        self, point: PointSpec, metrics: ExecutorMetrics
+    ) -> PointOutcome:
+        """Cache-check then simulate one point in-process."""
+        outcome = self._from_cache(point, metrics)
+        if outcome is not None:
+            return outcome
+        self.hooks.on_point_start(point)
+        result, wall_time = _run_point_job(point.spec)
+        return self._complete_fresh(point, result, wall_time, metrics)
+
+    def _run_parallel(
+        self,
+        points: Sequence[PointSpec],
+        missing: Sequence[int],
+        outcomes: List[Optional[PointOutcome]],
+        metrics: ExecutorMetrics,
+    ) -> None:
+        workers = min(self.jobs, len(missing))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+            for i in missing:
+                self.hooks.on_point_start(points[i])
+                futures[pool.submit(_run_point_job, points[i].spec)] = i
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    i = futures[future]
+                    result, wall_time = future.result()
+                    outcomes[i] = self._complete_fresh(
+                        points[i], result, wall_time, metrics
+                    )
+
+    # -- conveniences -------------------------------------------------
+
+    def run_specs(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> List[SimulationResult]:
+        """Run bare specs and return their results in input order."""
+        points = [PointSpec(spec=s, index=i) for i, s in enumerate(specs)]
+        return [outcome.result for outcome in self.run_points(points)]
+
+    def sweep(
+        self,
+        topology: Union[str, Topology],
+        algorithm: str,
+        pattern: str,
+        loads: Sequence[float],
+        config: Optional[SimulationConfig] = None,
+        sizes: SizeDistribution = PAPER_SIZES,
+        seed: int = 1,
+        stop_after_saturation: int = 1,
+    ):
+        """Measure one latency-throughput curve through the executor.
+
+        The executor analogue of :func:`repro.analysis.sweep.sweep_loads`
+        with the same truncation semantics: the sweep stops
+        ``stop_after_saturation`` consecutive unsustainable points past
+        saturation.  With ``jobs == 1`` later points are never simulated
+        (lazy, exactly like the serial loop); with ``jobs > 1`` all
+        loads are dispatched up front and the curve is truncated
+        afterwards — per-point values are identical either way.
+
+        Returns:
+            The measured :class:`~repro.analysis.sweep.SweepSeries`.
+        """
+        from repro.analysis.sweep import (
+            SweepPoint,
+            SweepSeries,
+            truncate_at_saturation,
+        )
+
+        spec_string = (
+            topology if isinstance(topology, str) else topology_spec(topology)
+        )
+        base = ExperimentSpec(
+            topology=spec_string,
+            routing=algorithm,
+            pattern=pattern,
+            load=0.0,
+            sizes=sizes.choices,
+            config=ConfigSpec.from_config(config),
+            seed=seed,
+        )
+        # Resolve once for the display names the series carries (the
+        # registry may label an algorithm differently than its key).
+        resolved = dataclasses.replace(base, load=float(loads[0])).resolve()
+        series_name = resolved.routing.name
+        pattern_name = resolved.pattern.name
+
+        points = [
+            PointSpec(
+                spec=dataclasses.replace(base, load=load),
+                series=series_name,
+                index=i,
+            )
+            for i, load in enumerate(loads)
+        ]
+
+        if self.jobs == 1:
+            # Lazy serial path: stop dispatching once saturated, so the
+            # points past the cut are never simulated (exactly the old
+            # serial loop's cost profile).
+            started = time.perf_counter()
+            metrics = ExecutorMetrics(points_total=len(points))
+            self.hooks.on_run_start(len(points))
+            sweep_points: List[SweepPoint] = []
+            past_saturation = 0
+            for point in points:
+                outcome = self._execute_one(point, metrics)
+                sweep_point = SweepPoint.from_result(outcome.result)
+                sweep_points.append(sweep_point)
+                if not sweep_point.sustainable:
+                    past_saturation += 1
+                    if past_saturation >= stop_after_saturation:
+                        break
+                else:
+                    past_saturation = 0
+            self._finish(metrics, started)
+        else:
+            outcomes = self.run_points(points)
+            sweep_points = truncate_at_saturation(
+                [SweepPoint.from_result(o.result) for o in outcomes],
+                stop_after_saturation,
+            )
+        return SweepSeries(series_name, pattern_name, sweep_points)

@@ -23,6 +23,8 @@ __all__ = [
     "series_from_dict",
     "figure_to_dict",
     "figure_from_dict",
+    "sweep_run_to_dict",
+    "sweep_run_from_dict",
     "save_json",
     "load_figure",
 ]
@@ -86,6 +88,29 @@ def figure_from_dict(data: dict):
         baseline=data["baseline"],
         series=[series_from_dict(series) for series in data["series"]],
     )
+
+
+def sweep_run_to_dict(series_list, **metadata) -> dict:
+    """A multi-algorithm sweep run (``repro sweep`` output) as a dict.
+
+    Args:
+        series_list: the measured :class:`SweepSeries` objects.
+        **metadata: run parameters worth archiving (topology spec,
+            pattern, loads, seed, ...); stored verbatim.
+    """
+    return {
+        "kind": "sweep-run",
+        "metadata": dict(metadata),
+        "series": [series_to_dict(series) for series in series_list],
+    }
+
+
+def sweep_run_from_dict(data: dict):
+    """Rebuild ``(series_list, metadata)`` from :func:`sweep_run_to_dict`."""
+    if data.get("kind") != "sweep-run":
+        raise ValueError(f"not a sweep-run payload: kind={data.get('kind')!r}")
+    series_list = [series_from_dict(series) for series in data["series"]]
+    return series_list, dict(data.get("metadata", {}))
 
 
 def save_json(obj, path: Union[str, Path]) -> None:

@@ -9,7 +9,7 @@ load rises.  :func:`sweep_loads` produces one such series per algorithm;
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 from repro.routing.base import RoutingAlgorithm
 from repro.routing.registry import make_routing
@@ -17,11 +17,21 @@ from repro.sim.config import SimulationConfig
 from repro.sim.simulator import simulate
 from repro.sim.stats import SimulationResult
 from repro.topology.base import Topology
+from repro.topology.spec import parse_topology, topology_spec
 from repro.traffic.patterns import TrafficPattern
 from repro.traffic.permutations import make_pattern
 from repro.traffic.workload import PAPER_SIZES, SizeDistribution
 
-__all__ = ["SweepPoint", "SweepSeries", "sweep_loads", "default_loads"]
+if TYPE_CHECKING:
+    from repro.analysis.executor import SweepExecutor
+
+__all__ = [
+    "SweepPoint",
+    "SweepSeries",
+    "sweep_loads",
+    "default_loads",
+    "truncate_at_saturation",
+]
 
 
 @dataclass(frozen=True)
@@ -94,8 +104,31 @@ def default_loads(
     return [round(start + i * step, 6) for i in range(count)]
 
 
+def truncate_at_saturation(
+    points: Sequence[SweepPoint], stop_after_saturation: int = 1
+) -> List[SweepPoint]:
+    """Cut a fully sampled curve where the serial sweep would have stopped.
+
+    The serial sweep stops after ``stop_after_saturation`` consecutive
+    unsustainable points; a parallel sweep samples every load up front
+    and applies this rule afterwards, so both paths return identical
+    series.
+    """
+    kept: List[SweepPoint] = []
+    past_saturation = 0
+    for point in points:
+        kept.append(point)
+        if not point.sustainable:
+            past_saturation += 1
+            if past_saturation >= stop_after_saturation:
+                break
+        else:
+            past_saturation = 0
+    return kept
+
+
 def sweep_loads(
-    topology: Topology,
+    topology: Union[str, Topology],
     algorithm: Union[str, RoutingAlgorithm],
     pattern: Union[str, TrafficPattern],
     loads: Sequence[float],
@@ -103,11 +136,22 @@ def sweep_loads(
     sizes: SizeDistribution = PAPER_SIZES,
     seed: int = 1,
     stop_after_saturation: int = 1,
+    executor: Optional["SweepExecutor"] = None,
 ) -> SweepSeries:
     """Measure one latency-throughput curve.
 
+    When ``algorithm`` and ``pattern`` are registry names (and the
+    topology has a spec string), the sweep routes through a
+    :class:`~repro.analysis.executor.SweepExecutor` — by default an
+    in-process serial one, so tests stay deterministic; pass an executor
+    with ``jobs > 1`` and/or a cache directory to fan points out over
+    worker processes and reuse earlier results.  Instances fall back to
+    the direct in-process loop (they cannot be pickled to workers or
+    content-hashed for the cache).
+
     Args:
-        topology: the network.
+        topology: the network (instance or spec string like
+            ``"mesh:16x16"``).
         algorithm: routing algorithm (instance or registry name).
         pattern: traffic pattern (instance or name).
         loads: offered loads to sample, ascending.
@@ -118,10 +162,43 @@ def sweep_loads(
         stop_after_saturation: how many consecutive unsustainable points
             to sample past saturation before stopping the sweep (they
             chart the latency blow-up; more adds detail but costs time).
+        executor: the execution engine to route through; ``None`` uses a
+            serial, uncached one.
 
     Returns:
         The measured series.
     """
+    from repro.analysis.executor import ConfigSpec, SweepExecutor
+
+    if isinstance(algorithm, str) and isinstance(pattern, str):
+        try:
+            # Raises for custom policies / unspec-able topologies, which
+            # cannot cross a process boundary; fall through to the
+            # direct loop for those.
+            ConfigSpec.from_config(config)
+            spec_string = (
+                topology
+                if isinstance(topology, str)
+                else topology_spec(topology)
+            )
+        except (TypeError, ValueError):
+            pass
+        else:
+            if executor is None:
+                executor = SweepExecutor()
+            return executor.sweep(
+                spec_string,
+                algorithm,
+                pattern,
+                loads,
+                config=config,
+                sizes=sizes,
+                seed=seed,
+                stop_after_saturation=stop_after_saturation,
+            )
+
+    if isinstance(topology, str):
+        topology = parse_topology(topology)
     if isinstance(algorithm, str):
         algorithm = make_routing(algorithm, topology)
     if isinstance(pattern, str):

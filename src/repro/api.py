@@ -1,0 +1,96 @@
+"""The stable programmatic API: one import for the whole harness.
+
+Programmatic users should import from here rather than from individual
+submodules (and especially not from :mod:`repro.cli`); this facade is
+what stays stable as the internals are resharded for scale.
+
+Describe an experiment as data, then run it::
+
+    from repro.api import ExperimentSpec, SweepExecutor
+
+    spec = ExperimentSpec(topology="mesh:16x16", routing="negative-first",
+                          pattern="transpose", load=0.2)
+    result = spec.run()                      # one point, in-process
+
+    executor = SweepExecutor(jobs=4, cache_dir=".sweep-cache")
+    series = executor.sweep("mesh:16x16", "negative-first", "transpose",
+                            loads=[0.05, 0.1, 0.2, 0.3, 0.4])
+
+or use the classic conveniences (``simulate``, ``sweep_loads``), which
+accept both live objects and names/spec strings.  See
+``docs/experiments_api.md`` for the full tour.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.executor import (
+    ConfigSpec,
+    ExecutorHooks,
+    ExecutorMetrics,
+    ExperimentSpec,
+    PointOutcome,
+    PointSpec,
+    ProgressPrinter,
+    ResolvedSpec,
+    ResultCache,
+    SweepExecutor,
+    resolve_spec,
+    run_spec,
+)
+from repro.analysis.sweep import (
+    SweepPoint,
+    SweepSeries,
+    default_loads,
+    sweep_loads,
+    truncate_at_saturation,
+)
+from repro.routing.registry import (
+    UnknownNameError,
+    available_algorithms,
+    canonical_name,
+    make_routing,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import simulate
+from repro.sim.stats import SimulationResult
+from repro.topology.spec import parse_topology, topology_spec
+from repro.traffic.permutations import available_patterns, make_pattern
+from repro.traffic.workload import PAPER_SIZES, SizeDistribution
+
+__all__ = [
+    # Experiment descriptions.
+    "ExperimentSpec",
+    "ConfigSpec",
+    "PointSpec",
+    "ResolvedSpec",
+    "resolve_spec",
+    "run_spec",
+    # Execution engine.
+    "SweepExecutor",
+    "ResultCache",
+    "ExecutorHooks",
+    "ExecutorMetrics",
+    "ProgressPrinter",
+    "PointOutcome",
+    # Classic conveniences.
+    "simulate",
+    "sweep_loads",
+    "default_loads",
+    "truncate_at_saturation",
+    "SweepPoint",
+    "SweepSeries",
+    "SimulationConfig",
+    "SimulationResult",
+    # Registries and specs.
+    "make_routing",
+    "available_algorithms",
+    "make_pattern",
+    "available_patterns",
+    "canonical_name",
+    "UnknownNameError",
+    "parse_topology",
+    "topology_spec",
+    # Workload sizing.
+    "PAPER_SIZES",
+    "SizeDistribution",
+]

@@ -1,4 +1,4 @@
-"""Command-line interface: ``turnmodel``.
+"""Command-line interface: ``turnmodel`` (also installed as ``repro``).
 
 Subcommands::
 
@@ -6,8 +6,14 @@ Subcommands::
     turnmodel figure 14 --preset quick  # reproduce a performance figure
     turnmodel simulate --topology mesh:8x8 --algorithm negative-first \\
               --pattern transpose --load 0.2
+    turnmodel sweep --topology mesh:16x16 --algorithm xy negative-first \\
+              --pattern transpose --jobs 4 --cache-dir .sweep-cache
     turnmodel deadlock --figure 1       # watch an unsafe algorithm deadlock
     turnmodel list                      # available algorithms and patterns
+
+This module is the argument-parsing shell only; programmatic users
+should import from :mod:`repro.api` (``parse_topology`` is re-exported
+here for backward compatibility).
 """
 
 from __future__ import annotations
@@ -19,45 +25,9 @@ from typing import Optional, Sequence
 from repro.routing.registry import available_algorithms, make_routing
 from repro.sim.config import SimulationConfig
 from repro.sim.simulator import simulate
-from repro.topology.base import Topology
-from repro.topology.hexagonal import HexMesh
-from repro.topology.hypercube import Hypercube
-from repro.topology.mesh import Mesh, Mesh2D
-from repro.topology.octagonal import OctMesh
-from repro.topology.torus import Torus
+from repro.topology.spec import parse_topology
 
 __all__ = ["main", "parse_topology"]
-
-
-def parse_topology(spec: str) -> Topology:
-    """Parse a topology spec: ``mesh:16x16``, ``cube:8``, ``torus:4x2``.
-
-    Mesh specs take per-dimension radixes separated by ``x``; cube specs
-    take the dimension count; torus specs take ``k x n``; hexagonal and
-    octagonal meshes take ``m x n`` (``hex:6x6``, ``oct:6x6``).
-    """
-    kind, _, arg = spec.partition(":")
-    if not arg:
-        raise ValueError(f"topology spec needs a ':<size>' part: {spec!r}")
-    if kind == "mesh":
-        dims = tuple(int(part) for part in arg.split("x"))
-        if len(dims) == 2:
-            return Mesh2D(*dims)
-        return Mesh(dims)
-    if kind == "cube":
-        return Hypercube(int(arg))
-    if kind == "torus":
-        k, _, n = arg.partition("x")
-        return Torus(int(k), int(n or 2))
-    if kind == "hex":
-        m, _, n = arg.partition("x")
-        return HexMesh(int(m), int(n or m))
-    if kind == "oct":
-        m, _, n = arg.partition("x")
-        return OctMesh(int(m), int(n or m))
-    raise ValueError(
-        f"unknown topology kind {kind!r} (use mesh/cube/torus/hex/oct)"
-    )
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -96,7 +66,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if driver is None:
         print(f"no driver for figure {args.number}; choose 13-16", file=sys.stderr)
         return 2
-    result = driver(preset=args.preset, seed=args.seed)
+    result = driver(
+        preset=args.preset,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
     print(result.render())
     if args.out:
         from repro.analysis.results_io import save_json
@@ -126,6 +101,54 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  avg hops:        {result.avg_hops:.2f}")
     print(f"  queue delay:     {result.avg_queue_delay_cycles:.1f} cycles")
     print(f"  injected/done:   {result.total_injected}/{result.total_delivered}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.executor import ProgressPrinter, SweepExecutor
+    from repro.analysis.report import render_series_table
+    from repro.analysis.sweep import default_loads
+    from repro.analysis.results_io import save_json, sweep_run_to_dict
+
+    if args.loads:
+        loads = args.loads
+    else:
+        loads = default_loads(args.load_start, args.load_stop, args.load_count)
+    config = SimulationConfig(
+        warmup_cycles=args.warmup,
+        measure_cycles=args.measure,
+        drain_cycles=args.drain,
+        buffer_depth=args.buffer_depth,
+    )
+    hooks = ProgressPrinter() if args.progress else None
+    executor = SweepExecutor(
+        jobs=args.jobs, cache_dir=args.cache_dir, hooks=hooks
+    )
+    series_list = []
+    for algorithm in args.algorithm:
+        series = executor.sweep(
+            args.topology,
+            algorithm,
+            args.pattern,
+            loads,
+            config=config,
+            seed=args.seed,
+            stop_after_saturation=args.stop_after_saturation,
+        )
+        series_list.append(series)
+        print(render_series_table(series))
+        print()
+    if args.out:
+        payload = sweep_run_to_dict(
+            series_list,
+            topology=args.topology,
+            pattern=args.pattern,
+            loads=list(loads),
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+        save_json(payload, args.out)
+        print(f"[saved to {args.out}]")
     return 0
 
 
@@ -161,10 +184,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
         topology = parse_topology(spec)
         names = ", ".join(available_algorithms(topology))
         print(f"{spec:12s} {names}")
-    print(
-        "patterns: uniform, transpose, transpose-diagonal, reverse-flip, "
-        "bit-complement, bit-reverse, shuffle, tornado"
-    )
+    from repro.traffic.permutations import available_patterns
+
+    print("patterns: " + ", ".join(available_patterns()))
     return 0
 
 
@@ -188,7 +210,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--preset", default="quick", choices=["quick", "mid", "paper"])
     p_fig.add_argument("--seed", type=int, default=1)
     p_fig.add_argument("--out", default=None, help="archive the series as JSON")
+    p_fig.add_argument(
+        "--jobs", type=int, default=1, help="parallel worker processes"
+    )
+    p_fig.add_argument(
+        "--cache-dir", default=None, help="reuse cached simulation points"
+    )
     p_fig.set_defaults(func=_cmd_figure)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="latency-throughput sweep: algorithms x loads x one pattern",
+    )
+    p_sweep.add_argument("--topology", default="mesh:8x8")
+    p_sweep.add_argument(
+        "--algorithm",
+        nargs="+",
+        default=["xy", "negative-first"],
+        help="one sweep series per algorithm",
+    )
+    p_sweep.add_argument("--pattern", default="uniform")
+    p_sweep.add_argument(
+        "--loads",
+        type=float,
+        nargs="+",
+        default=None,
+        help="explicit offered loads (flits/node/cycle)",
+    )
+    p_sweep.add_argument("--load-start", type=float, default=0.05)
+    p_sweep.add_argument("--load-stop", type=float, default=0.6)
+    p_sweep.add_argument("--load-count", type=int, default=8)
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, help="parallel worker processes"
+    )
+    p_sweep.add_argument(
+        "--cache-dir", default=None, help="reuse cached simulation points"
+    )
+    p_sweep.add_argument("--warmup", type=int, default=2000)
+    p_sweep.add_argument("--measure", type=int, default=8000)
+    p_sweep.add_argument("--drain", type=int, default=3000)
+    p_sweep.add_argument("--buffer-depth", type=int, default=1)
+    p_sweep.add_argument("--seed", type=int, default=1)
+    p_sweep.add_argument(
+        "--stop-after-saturation",
+        type=int,
+        default=1,
+        help="unsustainable points to chart past saturation",
+    )
+    p_sweep.add_argument(
+        "--progress", action="store_true", help="narrate per-point progress"
+    )
+    p_sweep.add_argument("--out", default=None, help="archive the run as JSON")
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_sim = sub.add_parser("simulate", help="run one simulation point")
     p_sim.add_argument("--topology", default="mesh:8x8")

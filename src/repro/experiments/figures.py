@@ -17,8 +17,10 @@ the nonadaptive baseline).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
+from repro.analysis.executor import SweepExecutor
 from repro.analysis.report import render_comparison, render_series_table
 from repro.analysis.sweep import SweepSeries, sweep_loads
 from repro.experiments.presets import Preset, get_preset
@@ -116,6 +118,22 @@ class FigureResult:
         return "\n\n".join(parts)
 
 
+def _make_executor(
+    executor: Optional[SweepExecutor],
+    jobs: int,
+    cache_dir: Optional[Union[str, Path]],
+) -> SweepExecutor:
+    """The executor a figure driver sweeps through.
+
+    An explicit ``executor`` wins; otherwise one is built from ``jobs``
+    and ``cache_dir`` (the serial, uncached default keeps tests
+    deterministic and dependency-free).
+    """
+    if executor is not None:
+        return executor
+    return SweepExecutor(jobs=jobs, cache_dir=cache_dir)
+
+
 def _run_figure(
     figure: str,
     title: str,
@@ -126,19 +144,28 @@ def _run_figure(
     preset: Preset,
     baseline: str,
     seed: int,
+    executor: Optional[SweepExecutor] = None,
 ) -> FigureResult:
     config = preset.sim_config()
+    if executor is None:
+        executor = SweepExecutor()
     series = [
         sweep_loads(
             topology, algorithm, pattern, loads, config=config, seed=seed,
-            stop_after_saturation=3,
+            stop_after_saturation=3, executor=executor,
         )
         for algorithm in algorithms
     ]
     return FigureResult(figure=figure, title=title, baseline=baseline, series=series)
 
 
-def figure13(preset: str = "quick", seed: int = 1) -> FigureResult:
+def figure13(
+    preset: str = "quick",
+    seed: int = 1,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> FigureResult:
     """Figure 13: uniform traffic in the 2D mesh.
 
     Expected shape: at low load all algorithms are equal; near saturation
@@ -157,10 +184,17 @@ def figure13(preset: str = "quick", seed: int = 1) -> FigureResult:
         p,
         baseline="xy",
         seed=seed,
+        executor=_make_executor(executor, jobs, cache_dir),
     )
 
 
-def figure14(preset: str = "quick", seed: int = 1) -> FigureResult:
+def figure14(
+    preset: str = "quick",
+    seed: int = 1,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> FigureResult:
     """Figure 14: matrix-transpose traffic in the 2D mesh.
 
     Expected shape: the partially adaptive algorithms (negative-first in
@@ -177,10 +211,17 @@ def figure14(preset: str = "quick", seed: int = 1) -> FigureResult:
         p,
         baseline="xy",
         seed=seed,
+        executor=_make_executor(executor, jobs, cache_dir),
     )
 
 
-def figure15(preset: str = "quick", seed: int = 1) -> FigureResult:
+def figure15(
+    preset: str = "quick",
+    seed: int = 1,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> FigureResult:
     """Figure 15: matrix-transpose traffic in the hypercube.
 
     Expected shape: the partially adaptive algorithms sustain roughly
@@ -197,10 +238,17 @@ def figure15(preset: str = "quick", seed: int = 1) -> FigureResult:
         p,
         baseline="e-cube",
         seed=seed,
+        executor=_make_executor(executor, jobs, cache_dir),
     )
 
 
-def figure16(preset: str = "quick", seed: int = 1) -> FigureResult:
+def figure16(
+    preset: str = "quick",
+    seed: int = 1,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> FigureResult:
     """Figure 16: reverse-flip traffic in the hypercube.
 
     Expected shape: the partially adaptive algorithms sustain roughly
@@ -217,4 +265,5 @@ def figure16(preset: str = "quick", seed: int = 1) -> FigureResult:
         p,
         baseline="e-cube",
         seed=seed,
+        executor=_make_executor(executor, jobs, cache_dir),
     )

@@ -27,7 +27,12 @@ from repro.routing.negative_first import (
 )
 from repro.routing.north_last import NorthLastRouting, north_last_nonminimal
 from repro.routing.pcube import PCubeRouting
-from repro.routing.registry import available_algorithms, make_routing
+from repro.routing.registry import (
+    UnknownNameError,
+    available_algorithms,
+    canonical_name,
+    make_routing,
+)
 from repro.routing.selection import (
     FCFSInputSelection,
     InputSelectionPolicy,
@@ -37,6 +42,7 @@ from repro.routing.selection import (
     RandomSelection,
     SelectionContext,
     XYSelection,
+    make_input_policy,
     make_output_policy,
 )
 from repro.routing.torus_routing import (
@@ -90,6 +96,9 @@ __all__ = [
     "FCFSInputSelection",
     "RandomInputSelection",
     "make_output_policy",
+    "make_input_policy",
     "make_routing",
     "available_algorithms",
+    "canonical_name",
+    "UnknownNameError",
 ]

@@ -44,9 +44,44 @@ from repro.topology.mesh import Mesh
 from repro.topology.octagonal import OctMesh
 from repro.topology.torus import Torus
 
-__all__ = ["make_routing", "available_algorithms"]
+__all__ = [
+    "make_routing",
+    "available_algorithms",
+    "canonical_name",
+    "UnknownNameError",
+]
 
 Factory = Callable[[Topology], RoutingAlgorithm]
+
+
+class UnknownNameError(KeyError, ValueError):
+    """An unregistered routing/pattern/policy name.
+
+    Subclasses both :class:`KeyError` (it is a failed registry lookup)
+    and :class:`ValueError` (the historical type callers catch).  The
+    message always lists the valid names.
+    """
+
+    def __init__(self, kind: str, name: str, known: "list[str]") -> None:
+        message = f"unknown {kind} {name!r}; known: {', '.join(sorted(known))}"
+        super().__init__(message)
+        self.kind = kind
+        self.name = name
+        self.known = sorted(known)
+
+    def __str__(self) -> str:  # KeyError would repr() the message.
+        return self.args[0]
+
+
+def canonical_name(name: str) -> str:
+    """Normalize a registry name: trim, lowercase, underscores to hyphens.
+
+    ``"negative_first"``, ``" Negative-First "``, and ``"negative-first"``
+    all canonicalize to ``"negative-first"``.  Every registry lookup
+    (routings, patterns, selection policies) goes through this one
+    function so aliases behave identically everywhere.
+    """
+    return name.strip().lower().replace("_", "-")
 
 _FACTORIES: Dict[str, Factory] = {
     # Nonadaptive baselines.
@@ -117,12 +152,17 @@ def make_routing(name: str, topology: Topology) -> RoutingAlgorithm:
             :func:`available_algorithms`.
         topology: the network to route on.
 
+    Names are canonicalized first (see :func:`canonical_name`), so
+    ``"negative_first"`` and ``"Negative-First"`` both resolve.
+
     Raises:
-        ValueError: for unknown names.
+        UnknownNameError: for unknown names (a KeyError *and* a
+            ValueError), listing the valid ones.
     """
     try:
-        factory = _FACTORIES[name]
+        factory = _FACTORIES[canonical_name(name)]
     except KeyError:
-        known = ", ".join(sorted(_FACTORIES))
-        raise ValueError(f"unknown routing algorithm {name!r}; known: {known}") from None
+        raise UnknownNameError(
+            "routing algorithm", name, list(_FACTORIES)
+        ) from None
     return factory(topology)

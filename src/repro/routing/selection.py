@@ -32,6 +32,7 @@ __all__ = [
     "FCFSInputSelection",
     "RandomInputSelection",
     "make_output_policy",
+    "make_input_policy",
 ]
 
 
@@ -164,3 +165,22 @@ def make_output_policy(name: str) -> OutputSelectionPolicy:
     except KeyError:
         known = ", ".join(sorted(_OUTPUT_POLICIES))
         raise ValueError(f"unknown output policy {name!r}; known: {known}") from None
+
+
+_INPUT_POLICIES = {
+    "fcfs": FCFSInputSelection,
+    "random-input": RandomInputSelection,
+}
+
+
+def make_input_policy(name: str) -> InputSelectionPolicy:
+    """Construct an input selection policy by name.
+
+    Args:
+        name: one of ``"fcfs"``, ``"random-input"``.
+    """
+    try:
+        return _INPUT_POLICIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(_INPUT_POLICIES))
+        raise ValueError(f"unknown input policy {name!r}; known: {known}") from None

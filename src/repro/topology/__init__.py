@@ -7,11 +7,14 @@ from repro.topology.hexagonal import HexMesh
 from repro.topology.octagonal import OctMesh
 from repro.topology.hypercube import Hypercube, bits_to_node, node_to_bits
 from repro.topology.mesh import Mesh, Mesh2D
+from repro.topology.spec import parse_topology, topology_spec
 from repro.topology.torus import Torus
 from repro.topology.virtual import VirtualChannelTopology
 
 __all__ = [
     "Topology",
+    "parse_topology",
+    "topology_spec",
     "Channel",
     "NodeId",
     "FaultyTopology",

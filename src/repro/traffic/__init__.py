@@ -7,6 +7,7 @@ from repro.traffic.patterns import (
     UniformTraffic,
 )
 from repro.traffic.permutations import (
+    available_patterns,
     bit_complement,
     bit_reverse,
     hypercube_transpose,
@@ -36,6 +37,7 @@ __all__ = [
     "perfect_shuffle",
     "tornado",
     "make_pattern",
+    "available_patterns",
     "SizeDistribution",
     "PAPER_SIZES",
     "Workload",

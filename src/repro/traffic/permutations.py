@@ -31,6 +31,7 @@ __all__ = [
     "perfect_shuffle",
     "tornado",
     "make_pattern",
+    "available_patterns",
 ]
 
 
@@ -149,31 +150,54 @@ def tornado(topology: Topology) -> PermutationTraffic:
     return PermutationTraffic(topology, permute, "tornado")
 
 
+def _uniform(topology: Topology):
+    from repro.traffic.patterns import UniformTraffic
+
+    return UniformTraffic(topology)
+
+
+def _transpose(topology: Topology):
+    if isinstance(topology, Hypercube):
+        return hypercube_transpose(topology)
+    return mesh_transpose(topology)
+
+
+_PATTERN_FACTORIES = {
+    "uniform": _uniform,
+    "transpose": _transpose,
+    "transpose-diagonal": mesh_transpose_diagonal,
+    "reverse-flip": reverse_flip,
+    "bit-complement": bit_complement,
+    "bit-reverse": bit_reverse,
+    "shuffle": perfect_shuffle,
+    "tornado": tornado,
+}
+
+
+def available_patterns() -> list:
+    """The registered traffic-pattern names, sorted."""
+    return sorted(_PATTERN_FACTORIES)
+
+
 def make_pattern(name: str, topology: Topology):
     """Construct a traffic pattern by name.
 
     Accepts ``uniform``, ``transpose`` (dispatching on topology type),
     ``reverse-flip``, ``bit-complement``, ``bit-reverse``, ``shuffle``,
-    and ``tornado``.
-    """
-    from repro.traffic.patterns import UniformTraffic
+    and ``tornado``.  Names are canonicalized with the same rules as the
+    routing registry, so ``"reverse_flip"`` and ``"Reverse-Flip"`` both
+    resolve.
 
-    if name == "uniform":
-        return UniformTraffic(topology)
-    if name == "transpose":
-        if isinstance(topology, Hypercube):
-            return hypercube_transpose(topology)
-        return mesh_transpose(topology)
-    if name == "transpose-diagonal":
-        return mesh_transpose_diagonal(topology)
-    if name == "reverse-flip":
-        return reverse_flip(topology)
-    if name == "bit-complement":
-        return bit_complement(topology)
-    if name == "bit-reverse":
-        return bit_reverse(topology)
-    if name == "shuffle":
-        return perfect_shuffle(topology)
-    if name == "tornado":
-        return tornado(topology)
-    raise ValueError(f"unknown traffic pattern {name!r}")
+    Raises:
+        UnknownNameError: for unknown names (a KeyError *and* a
+            ValueError), listing the valid ones.
+    """
+    from repro.routing.registry import UnknownNameError, canonical_name
+
+    try:
+        factory = _PATTERN_FACTORIES[canonical_name(name)]
+    except KeyError:
+        raise UnknownNameError(
+            "traffic pattern", name, list(_PATTERN_FACTORIES)
+        ) from None
+    return factory(topology)

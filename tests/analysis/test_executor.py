@@ -1,0 +1,384 @@
+"""Tests for the parallel sweep executor, specs, and the result cache."""
+
+import dataclasses
+import json
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.executor import (
+    ConfigSpec,
+    ExecutorHooks,
+    ExperimentSpec,
+    PointSpec,
+    ResultCache,
+    SweepExecutor,
+    resolve_spec,
+)
+from repro.analysis.sweep import (
+    SweepPoint,
+    sweep_loads,
+    truncate_at_saturation,
+)
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.selection import OutputSelectionPolicy
+from repro.sim.config import SimulationConfig
+from repro.topology import Mesh2D, parse_topology, topology_spec
+from repro.traffic.patterns import TrafficPattern
+
+#: Short windows keep every simulation in these tests cheap.
+QUICK = ConfigSpec(warmup_cycles=200, measure_cycles=800, drain_cycles=300)
+
+
+def quick_config() -> SimulationConfig:
+    return QUICK.to_config()
+
+
+def make_spec(**overrides) -> ExperimentSpec:
+    settings = dict(
+        topology="mesh:4x4",
+        routing="negative-first",
+        pattern="transpose",
+        load=0.1,
+        config=QUICK,
+        seed=3,
+    )
+    settings.update(overrides)
+    return ExperimentSpec(**settings)
+
+
+class TestConfigSpec:
+    def test_defaults_mirror_simulation_config(self):
+        spec = ConfigSpec()
+        config = SimulationConfig()
+        assert spec.to_config().warmup_cycles == config.warmup_cycles
+        assert spec.to_config().measure_cycles == config.measure_cycles
+        assert spec.output_policy == config.output_policy.name
+        assert spec.input_policy == config.input_policy.name
+
+    def test_round_trip(self):
+        config = SimulationConfig(
+            buffer_depth=2, warmup_cycles=10, measure_cycles=20,
+            drain_cycles=5, routing_delay_cycles=2, seed=7,
+        )
+        rebuilt = ConfigSpec.from_config(config).to_config()
+        assert rebuilt.buffer_depth == 2
+        assert rebuilt.warmup_cycles == 10
+        assert rebuilt.measure_cycles == 20
+        assert rebuilt.drain_cycles == 5
+        assert rebuilt.routing_delay_cycles == 2
+        assert rebuilt.seed == 7
+        assert type(rebuilt.output_policy) is type(config.output_policy)
+
+    def test_none_gives_defaults(self):
+        assert ConfigSpec.from_config(None) == ConfigSpec()
+
+    def test_custom_policy_rejected(self):
+        class WeirdSelection(OutputSelectionPolicy):
+            """Not in the registry, but borrows a stock name."""
+
+            name = "xy"
+
+            def select(self, candidates, context):
+                return candidates[-1]
+
+        config = SimulationConfig(output_policy=WeirdSelection())
+        with pytest.raises(ValueError):
+            ConfigSpec.from_config(config)
+
+    def test_total_cycles(self):
+        assert QUICK.total_cycles == 1300
+
+
+class TestExperimentSpec:
+    def test_canonicalizes_names(self):
+        spec = ExperimentSpec("MESH:4x4", "Negative_First", "Transpose", 0.1)
+        assert spec.topology == "mesh:4x4"
+        assert spec.routing == "negative-first"
+        assert spec.pattern == "transpose"
+
+    def test_alias_spellings_hash_identically(self):
+        a = make_spec(routing="negative-first")
+        b = make_spec(routing="negative_first")
+        assert a == b
+        assert a.content_hash() == b.content_hash()
+
+    def test_different_points_hash_differently(self):
+        assert make_spec(load=0.1).content_hash() != make_spec(load=0.2).content_hash()
+        assert make_spec(seed=1).content_hash() != make_spec(seed=2).content_hash()
+
+    def test_dict_round_trip(self):
+        spec = make_spec()
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+        # And survives a JSON round trip (tuples become lists).
+        assert ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_picklable(self):
+        spec = make_spec()
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.content_hash() == spec.content_hash()
+
+    def test_hash_stable_across_processes(self):
+        """The cache key must not depend on interpreter state."""
+        spec = make_spec()
+        code = (
+            "from repro.analysis.executor import ConfigSpec, ExperimentSpec\n"
+            "spec = ExperimentSpec('mesh:4x4', 'negative-first', 'transpose',"
+            " 0.1, config=ConfigSpec(warmup_cycles=200, measure_cycles=800,"
+            " drain_cycles=300), seed=3)\n"
+            "print(spec.content_hash())"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+        )
+        assert out.stdout.strip() == spec.content_hash()
+
+    def test_resolve(self):
+        resolved = resolve_spec(make_spec())
+        assert isinstance(resolved.topology, Mesh2D)
+        assert isinstance(resolved.routing, RoutingAlgorithm)
+        assert isinstance(resolved.pattern, TrafficPattern)
+        assert resolved.routing.name == "negative-first"
+        assert resolved.config.warmup_cycles == 200
+
+    def test_run_matches_simulate(self):
+        from repro.sim.simulator import simulate
+
+        spec = make_spec()
+        direct = simulate(
+            Mesh2D(4, 4), "negative-first", "transpose",
+            offered_load=0.1, config=quick_config(), seed=3,
+        )
+        assert spec.run() == direct
+
+
+class TestTopologySpecStrings:
+    @pytest.mark.parametrize(
+        "spec", ["mesh:4x4", "mesh:3x3x3", "cube:5", "torus:4x2", "hex:3x4", "oct:3x3"]
+    )
+    def test_round_trip(self, spec):
+        assert topology_spec(parse_topology(spec)) == spec
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        assert cache.load(spec) is None
+        result = spec.run()
+        cache.store(spec, result)
+        assert cache.load(spec) == result
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cache.path_for(spec).write_text("{not json")
+        assert cache.load(spec) is None
+
+    def test_spec_mismatch_is_a_miss(self, tmp_path):
+        """A hash collision (or tampered file) must not serve wrong data."""
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cache.store(spec, spec.run())
+        payload = json.loads(cache.path_for(spec).read_text())
+        payload["spec"]["load"] = 0.999
+        cache.path_for(spec).write_text(json.dumps(payload))
+        assert cache.load(spec) is None
+
+
+class CountingHooks(ExecutorHooks):
+    def __init__(self):
+        self.started = 0
+        self.done = 0
+        self.run_starts = 0
+        self.run_ends = []
+
+    def on_run_start(self, total_points):
+        self.run_starts += 1
+
+    def on_point_start(self, point):
+        self.started += 1
+
+    def on_point_done(self, outcome):
+        self.done += 1
+
+    def on_run_end(self, metrics):
+        self.run_ends.append(metrics)
+
+
+LOADS = [0.05, 0.1, 0.15, 0.2]
+
+
+class TestSweepExecutor:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(jobs=0)
+
+    def test_run_specs_preserves_order(self):
+        specs = [make_spec(load=load) for load in LOADS]
+        results = SweepExecutor().run_specs(specs)
+        assert [r.offered_load for r in results] == LOADS
+
+    def test_parallel_matches_serial(self):
+        specs = [make_spec(load=load) for load in LOADS]
+        serial = SweepExecutor(jobs=1).run_specs(specs)
+        parallel = SweepExecutor(jobs=2).run_specs(specs)
+        assert serial == parallel
+
+    def test_cache_miss_then_hit(self, tmp_path):
+        specs = [make_spec(load=load) for load in LOADS]
+        cold = SweepExecutor(cache_dir=tmp_path)
+        cold_results = cold.run_specs(specs)
+        assert cold.last_metrics.simulated == len(LOADS)
+        assert cold.last_metrics.cache_hits == 0
+
+        warm = SweepExecutor(cache_dir=tmp_path)
+        warm_results = warm.run_specs(specs)
+        assert warm.last_metrics.simulated == 0
+        assert warm.last_metrics.cache_hits == len(LOADS)
+        assert warm_results == cold_results
+
+    def test_parallel_and_serial_share_cache_entries(self, tmp_path):
+        specs = [make_spec(load=load) for load in LOADS]
+        SweepExecutor(jobs=2, cache_dir=tmp_path).run_specs(specs)
+        warm = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        warm.run_specs(specs)
+        assert warm.last_metrics.cache_hits == len(LOADS)
+
+    def test_hooks_fire(self):
+        hooks = CountingHooks()
+        executor = SweepExecutor(hooks=hooks)
+        executor.run_specs([make_spec(load=load) for load in LOADS])
+        assert hooks.run_starts == 1
+        assert hooks.started == len(LOADS)
+        assert hooks.done == len(LOADS)
+        assert len(hooks.run_ends) == 1
+        assert hooks.run_ends[0].points_completed == len(LOADS)
+        assert hooks.run_ends[0].cycles_simulated == len(LOADS) * QUICK.total_cycles
+
+    def test_cache_hits_skip_point_start(self, tmp_path):
+        specs = [make_spec(load=load) for load in LOADS]
+        SweepExecutor(cache_dir=tmp_path).run_specs(specs)
+        hooks = CountingHooks()
+        SweepExecutor(cache_dir=tmp_path, hooks=hooks).run_specs(specs)
+        assert hooks.started == 0
+        assert hooks.done == len(LOADS)
+
+
+class TestSweepThroughExecutor:
+    def test_sweep_matches_sweep_loads(self):
+        """The executor path and the legacy instance path agree bit-for-bit."""
+        from repro.routing.registry import make_routing
+        from repro.traffic.permutations import make_pattern
+
+        mesh = Mesh2D(4, 4)
+        legacy = sweep_loads(
+            mesh, make_routing("negative-first", mesh),
+            make_pattern("transpose", mesh), LOADS,
+            config=quick_config(), seed=3,
+        )
+        via_executor = SweepExecutor(jobs=2).sweep(
+            "mesh:4x4", "negative-first", "transpose", LOADS,
+            config=quick_config(), seed=3,
+        )
+        assert legacy.algorithm == via_executor.algorithm
+        assert legacy.pattern == via_executor.pattern
+        assert legacy.points == via_executor.points
+
+    def test_sweep_loads_accepts_executor_and_spec_string(self):
+        serial = sweep_loads(
+            Mesh2D(4, 4), "xy", "uniform", LOADS, config=quick_config(), seed=2
+        )
+        parallel = sweep_loads(
+            "mesh:4x4", "xy", "uniform", LOADS, config=quick_config(), seed=2,
+            executor=SweepExecutor(jobs=2),
+        )
+        assert serial.points == parallel.points
+
+    def test_custom_policy_falls_back_to_direct_loop(self):
+        class WeirdSelection(OutputSelectionPolicy):
+            """Unregistered policy: unpicklable by name."""
+
+            name = "weird"
+
+            def select(self, candidates, context):
+                return candidates[0]
+
+        config = SimulationConfig(
+            warmup_cycles=200, measure_cycles=800, drain_cycles=300,
+            output_policy=WeirdSelection(),
+        )
+        series = sweep_loads(
+            Mesh2D(4, 4), "xy", "uniform", [0.05], config=config, seed=2
+        )
+        assert len(series.points) == 1
+
+    def test_truncation_rule_matches_serial_stop(self):
+        points = [
+            SweepPoint(0.1, 10.0, 1.0, True, False, 1.0, 3.0),
+            SweepPoint(0.2, 20.0, 2.0, False, False, 0.9, 3.0),
+            SweepPoint(0.3, 20.0, 9.0, False, False, 0.5, 3.0),
+            SweepPoint(0.4, 20.0, 9.0, False, False, 0.4, 3.0),
+        ]
+        assert truncate_at_saturation(points, 1) == points[:2]
+        assert truncate_at_saturation(points, 2) == points[:3]
+        assert truncate_at_saturation(points, 9) == points
+
+    def test_saturating_sweep_identical_serial_and_parallel(self):
+        """Early-stop (lazy) and run-all-then-truncate agree."""
+        loads = [0.05, 0.1, 0.2, 0.4, 0.6, 0.8]
+        serial = SweepExecutor(jobs=1).sweep(
+            "mesh:4x4", "xy", "transpose", loads,
+            config=quick_config(), seed=3,
+        )
+        parallel = SweepExecutor(jobs=2).sweep(
+            "mesh:4x4", "xy", "transpose", loads,
+            config=quick_config(), seed=3,
+        )
+        assert serial.points == parallel.points
+
+
+@pytest.mark.slow
+class TestAcceptance:
+    """ISSUE 1 acceptance: 16x16 mesh, 3 algorithms, 8 loads, jobs=4."""
+
+    ALGORITHMS = ("xy", "west-first", "negative-first")
+    LOADS = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4]
+    CONFIG = ConfigSpec(warmup_cycles=100, measure_cycles=400, drain_cycles=200)
+
+    def test_parallel_identical_to_serial_then_all_cache_hits(self, tmp_path):
+        config = self.CONFIG.to_config()
+        serial = [
+            sweep_loads(
+                Mesh2D(16, 16), algorithm, "transpose", self.LOADS,
+                config=config, seed=1, stop_after_saturation=len(self.LOADS),
+            )
+            for algorithm in self.ALGORITHMS
+        ]
+
+        executor = SweepExecutor(jobs=4, cache_dir=tmp_path)
+        parallel = [
+            executor.sweep(
+                "mesh:16x16", algorithm, "transpose", self.LOADS,
+                config=config, seed=1, stop_after_saturation=len(self.LOADS),
+            )
+            for algorithm in self.ALGORITHMS
+        ]
+        for serial_series, parallel_series in zip(serial, parallel):
+            assert serial_series.points == parallel_series.points
+
+        rerun = SweepExecutor(jobs=4, cache_dir=tmp_path)
+        total_hits = 0
+        for algorithm in self.ALGORITHMS:
+            rerun.sweep(
+                "mesh:16x16", algorithm, "transpose", self.LOADS,
+                config=config, seed=1, stop_after_saturation=len(self.LOADS),
+            )
+            assert rerun.last_metrics.simulated == 0
+            total_hits += rerun.last_metrics.cache_hits
+        assert total_hits == len(self.ALGORITHMS) * len(self.LOADS)

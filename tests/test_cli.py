@@ -107,6 +107,53 @@ class TestNewTopologies:
         assert "thru=" in capsys.readouterr().out
 
 
+class TestSweepCommand:
+    SWEEP_ARGS = [
+        "sweep", "--topology", "mesh:4x4",
+        "--algorithm", "xy", "negative_first",
+        "--pattern", "transpose", "--loads", "0.05", "0.1",
+        "--warmup", "200", "--measure", "800", "--drain", "200",
+    ]
+
+    def test_sweep_runs(self, capsys):
+        assert main(self.SWEEP_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "xy / transpose" in out
+        assert "negative-first / transpose" in out
+
+    def test_sweep_parallel_with_cache_and_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "sweep.json"
+        cache_dir = tmp_path / "cache"
+        args = self.SWEEP_ARGS + [
+            "--jobs", "2", "--cache-dir", str(cache_dir),
+            "--out", str(out_path),
+        ]
+        assert main(args) == 0
+        first = json.loads(out_path.read_text())
+        assert first["kind"] == "sweep-run"
+        assert [s["algorithm"] for s in first["series"]] == [
+            "xy", "negative-first",
+        ]
+        assert len(list(cache_dir.glob("*.json"))) == 4
+
+        # Second invocation hits the cache and reproduces the output.
+        capsys.readouterr()
+        assert main(args) == 0
+        assert json.loads(out_path.read_text()) == first
+
+    def test_sweep_default_load_grid(self, capsys):
+        code = main([
+            "sweep", "--topology", "mesh:4x4", "--algorithm", "xy",
+            "--pattern", "uniform", "--load-start", "0.05",
+            "--load-stop", "0.1", "--load-count", "2",
+            "--warmup", "200", "--measure", "800", "--drain", "200",
+        ])
+        assert code == 0
+        assert "0.050" in capsys.readouterr().out
+
+
 class TestLoadsCommand:
     def test_static_loads(self, capsys):
         code = main([

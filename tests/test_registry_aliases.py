@@ -1,0 +1,76 @@
+"""Registry name canonicalization: aliases, case, and error quality."""
+
+import pytest
+
+from repro.routing.registry import (
+    UnknownNameError,
+    canonical_name,
+    make_routing,
+)
+from repro.topology import Hypercube, Mesh2D
+from repro.traffic.permutations import available_patterns, make_pattern
+
+
+class TestCanonicalName:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("negative-first", "negative-first"),
+            ("negative_first", "negative-first"),
+            ("Negative_First", "negative-first"),
+            ("  west-first  ", "west-first"),
+            ("P_CUBE", "p-cube"),
+        ],
+    )
+    def test_normalization(self, raw, expected):
+        assert canonical_name(raw) == expected
+
+
+class TestRoutingAliases:
+    @pytest.mark.parametrize(
+        "alias", ["negative_first", "Negative-First", " negative-first "]
+    )
+    def test_aliases_resolve(self, mesh44, alias):
+        assert make_routing(alias, mesh44).name == "negative-first"
+
+    def test_underscore_compound_names(self, mesh44):
+        routing = make_routing("west_first_nonminimal", mesh44)
+        assert routing is not None
+
+    def test_unknown_name_error_type(self, mesh44):
+        with pytest.raises(UnknownNameError) as excinfo:
+            make_routing("not-a-thing", mesh44)
+        assert isinstance(excinfo.value, KeyError)
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_unknown_name_lists_known(self, mesh44):
+        with pytest.raises(UnknownNameError, match="negative-first"):
+            make_routing("not-a-thing", mesh44)
+
+    def test_legacy_value_error_still_catches(self, mesh44):
+        with pytest.raises(ValueError, match="unknown routing algorithm"):
+            make_routing("not-a-thing", mesh44)
+
+
+class TestPatternAliases:
+    @pytest.mark.parametrize(
+        "alias", ["reverse_flip", "Reverse-Flip", " reverse-flip "]
+    )
+    def test_aliases_resolve(self, alias):
+        pattern = make_pattern(alias, Hypercube(4))
+        assert pattern.name == "reverse-flip"
+
+    def test_transpose_alias_on_mesh(self):
+        assert make_pattern("Transpose", Mesh2D(4, 4)).name == "transpose"
+
+    def test_unknown_pattern_error_type(self):
+        with pytest.raises(UnknownNameError) as excinfo:
+            make_pattern("nope", Mesh2D(4, 4))
+        assert isinstance(excinfo.value, KeyError)
+        assert isinstance(excinfo.value, ValueError)
+        assert "uniform" in str(excinfo.value)
+
+    def test_available_patterns_sorted(self):
+        names = available_patterns()
+        assert "uniform" in names
+        assert names == sorted(names)
