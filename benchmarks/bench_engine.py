@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Engine cycles/sec benchmark — thin wrapper over :mod:`repro.sim.bench`.
+
+Run from the repository root (no install needed)::
+
+    python benchmarks/bench_engine.py [--quick] [--baseline old.json]
+
+Equivalent to ``repro bench``; writes ``BENCH_engine.json`` so engine
+speed is tracked across PRs.  See ``docs/simulator.md`` (Performance)
+for what the numbers mean and which invariants the optimizations keep.
+"""
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.sim.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

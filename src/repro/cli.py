@@ -9,6 +9,7 @@ Subcommands::
     turnmodel sweep --topology mesh:16x16 --algorithm xy negative-first \\
               --pattern transpose --jobs 4 --cache-dir .sweep-cache
     turnmodel deadlock --figure 1       # watch an unsafe algorithm deadlock
+    turnmodel bench --quick             # engine cycles/sec benchmark
     turnmodel list                      # available algorithms and patterns
 
 This module is the argument-parsing shell only; programmatic users
@@ -166,6 +167,29 @@ def _cmd_deadlock(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sim.bench import apply_baseline, render_report, run_bench
+
+    payload = run_bench(
+        args.scenario,
+        quick=args.quick,
+        repeat=args.repeat,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    if args.baseline:
+        with open(args.baseline) as fh:
+            apply_baseline(payload, json.load(fh))
+    print(render_report(payload))
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[saved to {args.out}]")
+    return 0
+
+
 def _cmd_loads(args: argparse.Namespace) -> int:
     from repro.analysis.channel_load import load_report
     from repro.traffic.permutations import make_pattern
@@ -278,6 +302,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_dead = sub.add_parser("deadlock", help="demonstrate a deadlock")
     p_dead.add_argument("--figure", type=int, default=1, choices=[1, 4])
     p_dead.set_defaults(func=_cmd_deadlock)
+
+    p_bench = sub.add_parser(
+        "bench", help="engine speed benchmark (cycles/sec, flit-moves/sec)"
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true", help="CI-sized runs (800 cycles each)"
+    )
+    p_bench.add_argument(
+        "--scenario", nargs="+", default=None, help="subset of scenarios"
+    )
+    p_bench.add_argument(
+        "--repeat", type=int, default=1,
+        help="repetitions per scenario (best wall time wins)",
+    )
+    p_bench.add_argument(
+        "--baseline", default=None,
+        help="previous BENCH_engine.json to compute speedups against",
+    )
+    p_bench.add_argument(
+        "--out", default="BENCH_engine.json",
+        help="output JSON path ('-' to skip writing)",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_loads = sub.add_parser(
         "loads", help="static channel-load analysis (ideal saturation bounds)"

@@ -51,6 +51,13 @@ class Direction:
             raise ValueError(f"dimension must be non-negative, got {self.dim}")
         if self.sign not in (1, -1):
             raise ValueError(f"sign must be +1 or -1, got {self.sign}")
+        # Directions key the routing hot path's sets and dicts; cache the
+        # hash with the exact value the frozen dataclass would generate,
+        # so hash-ordered containers iterate identically either way.
+        object.__setattr__(self, "_hash", hash((self.dim, self.sign)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     @property
     def is_positive(self) -> bool:

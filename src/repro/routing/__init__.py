@@ -1,6 +1,7 @@
 """Routing algorithms derived from the turn model, plus baselines."""
 
 from repro.routing.base import RoutingAlgorithm
+from repro.routing.cache import RouteCache
 from repro.routing.dimension_order import (
     DimensionOrderRouting,
     ecube_routing,
@@ -60,6 +61,7 @@ from repro.routing.west_first import WestFirstRouting, west_first_nonminimal
 
 __all__ = [
     "RoutingAlgorithm",
+    "RouteCache",
     "DimensionOrderRouting",
     "xy_routing",
     "yx_routing",

@@ -30,10 +30,27 @@ class RoutingAlgorithm(ABC):
         topology: the network the algorithm routes on.
         name: short identifier used in reports and figure legends.
         minimal: whether the algorithm only offers shortest-path hops.
+        cacheable: whether :meth:`route` is a pure function of
+            ``(in_channel, node, dest)`` — no randomness, no mutable
+            state, no time dependence.  True for every turn-model
+            relation (they are Markovian by construction), and it lets
+            the simulator memoize routing decisions
+            (:class:`repro.routing.cache.RouteCache`).  Set to False in
+            subclasses whose decisions can change between identical
+            calls.
+        uses_in_channel: whether :meth:`route` actually reads
+            ``in_channel``.  Most minimal turn-model algorithms decide
+            from ``(node, dest)`` alone; declaring that lets the route
+            cache collapse all arrival channels of a router into one
+            key.  Defaults to True (the conservative assumption); only
+            set False when the implementation provably ignores the
+            argument.
     """
 
     name: str = "unnamed"
     minimal: bool = True
+    cacheable: bool = True
+    uses_in_channel: bool = True
 
     def __init__(self, topology: Topology):
         self.topology = topology
@@ -67,7 +84,9 @@ class RoutingAlgorithm(ABC):
 
     def productive_channels(self, node: NodeId, dest: NodeId) -> list[Channel]:
         """The mesh channels leaving ``node`` on a shortest path to ``dest``."""
-        wanted = set(self.topology.minimal_directions(node, dest))
+        # At most one productive direction per dimension, so a tuple scan
+        # beats building a set for the membership test.
+        wanted = self.topology.minimal_directions(node, dest)
         return [
             channel
             for channel in self.topology.out_channels(node)

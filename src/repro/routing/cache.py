@@ -1,0 +1,117 @@
+"""Memoizing route cache for the simulator's hot path.
+
+A routing decision is a pure function of ``(in_channel, node, dest)`` —
+the turn model's routing relations are Markovian by construction (the
+permitted next hops depend only on how the header arrived, where it is,
+and where it is going), and every algorithm shipped in
+:mod:`repro.routing` advertises this via
+:attr:`~repro.routing.base.RoutingAlgorithm.cacheable`.  The simulator
+therefore never needs to recompute a route: the engine asks a
+:class:`RouteCache` instead, which resolves each distinct routing state
+once and answers every later visit with a dict lookup.
+
+The cache can optionally *resolve* the returned channels through a
+caller-supplied mapping (the engine passes its ``Channel ->
+ChannelState`` table), so the hot loop receives pre-resolved candidate
+tuples and skips the per-candidate dict lookups too.
+
+The working set is bounded by the number of reachable routing states —
+at most ``channels x nodes`` keys, and in practice far fewer, since only
+states visited by actual traffic are materialized.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.routing.base import RoutingAlgorithm
+from repro.topology.channels import Channel, NodeId
+
+__all__ = ["RouteCache"]
+
+#: A routing state: (incoming channel or None, current node, destination).
+RouteKey = Tuple[Optional[Channel], NodeId, NodeId]
+
+
+class RouteCache:
+    """Memoizes ``routing.route`` over ``(in_channel, node, dest)`` keys.
+
+    Args:
+        routing: the algorithm to memoize; must be pure (``cacheable``).
+        resolve: optional mapping applied to each returned channel once,
+            at fill time (e.g. the engine's channel-state lookup).  When
+            omitted, the cache stores the raw channel tuples.
+
+    Attributes:
+        hits, misses: lookup counters, reported by ``repro bench``.
+    """
+
+    __slots__ = ("routing", "_resolve", "_table", "_keyed_on_in_channel",
+                 "hits", "misses")
+
+    def __init__(
+        self,
+        routing: RoutingAlgorithm,
+        resolve: Optional[Callable[[Channel], object]] = None,
+    ):
+        if not getattr(routing, "cacheable", True):
+            raise ValueError(
+                f"{routing.name} declares cacheable=False; its routing "
+                "decisions cannot be memoized"
+            )
+        self.routing = routing
+        self._resolve = resolve
+        self._table: Dict[tuple, tuple] = {}
+        # An algorithm that provably ignores in_channel gets one key per
+        # (node, dest), collapsing every arrival channel of a router —
+        # fewer misses and cheaper keys.
+        self._keyed_on_in_channel = getattr(routing, "uses_in_channel", True)
+        self.hits = 0
+        self.misses = 0
+
+    def candidates(
+        self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
+    ) -> tuple:
+        """The (resolved) output candidates for one routing state.
+
+        Returns the same tuple object on every lookup of the same key;
+        an empty tuple means the algorithm offered no route (the caller
+        decides whether that is an error).
+        """
+        if self._keyed_on_in_channel:
+            key = (in_channel, node, dest)
+        else:
+            key = (node, dest)
+        table = self._table
+        cached = table.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        channels = tuple(self.routing.route(in_channel, node, dest))
+        resolve = self._resolve
+        if resolve is not None:
+            resolved = tuple(resolve(channel) for channel in channels)
+        else:
+            resolved = channels
+        table[key] = resolved
+        self.misses += 1
+        return resolved
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        """Drop all memoized routes (counters are kept)."""
+        self._table.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"RouteCache({self.routing.name}, entries={len(self._table)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

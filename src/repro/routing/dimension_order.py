@@ -31,6 +31,7 @@ class DimensionOrderRouting(RoutingAlgorithm):
     """
 
     minimal = True
+    uses_in_channel = False
 
     def __init__(
         self,
@@ -47,6 +48,18 @@ class DimensionOrderRouting(RoutingAlgorithm):
                 f"{dimension_order}"
             )
         self.dimension_order = tuple(dimension_order)
+        # Per-node direction -> channel table, preferring the mesh channel
+        # over a wraparound in the same direction — exactly the fallback
+        # order of the channel_in_direction pair below, precomputed so the
+        # hot path is two dict lookups.
+        self._channel_table = {}
+        for node in topology.nodes():
+            per_direction = {}
+            for channel in topology.out_channels(node):
+                prior = per_direction.get(channel.direction)
+                if prior is None or (prior.wraparound and not channel.wraparound):
+                    per_direction[channel.direction] = channel
+            self._channel_table[node] = per_direction
         if name:
             self.name = name
         elif self.dimension_order != tuple(range(topology.n_dims)):
@@ -59,20 +72,17 @@ class DimensionOrderRouting(RoutingAlgorithm):
     def route(
         self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
     ) -> Sequence[Channel]:
-        productive = {
-            direction.dim: direction
-            for direction in self.topology.minimal_directions(node, dest)
-        }
+        # minimal_directions (not raw coordinate compares) so torus
+        # subclasses that account for wraparound shortcuts stay correct.
+        minimal = self.topology.minimal_directions(node, dest)
+        if not minimal:
+            return ()
+        table = self._channel_table[node]
         for dim in self.dimension_order:
-            direction = productive.get(dim)
-            if direction is None:
-                continue
-            channel = self.topology.channel_in_direction(
-                node, direction, wraparound=False
-            )
-            if channel is None:
-                channel = self.topology.channel_in_direction(node, direction)
-            return (channel,) if channel is not None else ()
+            for direction in minimal:
+                if direction.dim == dim:
+                    channel = table.get(direction)
+                    return (channel,) if channel is not None else ()
         return ()
 
 

@@ -34,6 +34,7 @@ class HexNegativeFirstRouting(RoutingAlgorithm):
 
     name = "hex-negative-first"
     minimal = True
+    uses_in_channel = False
 
     def __init__(self, topology: HexMesh):
         if not isinstance(topology, HexMesh):
@@ -61,6 +62,7 @@ class HexDimensionOrderRouting(RoutingAlgorithm):
 
     name = "hex-ab-order"
     minimal = False  # minimal in the square metric, not the hex metric
+    uses_in_channel = False
 
     def __init__(self, topology: HexMesh):
         if not isinstance(topology, HexMesh):

@@ -34,6 +34,7 @@ class AllButOneNegativeFirstRouting(RoutingAlgorithm):
 
     name = "abonf"
     minimal = True
+    uses_in_channel = False
 
     def __init__(self, topology: Mesh):
         super().__init__(topology)
@@ -58,6 +59,7 @@ class AllButOnePositiveLastRouting(RoutingAlgorithm):
 
     name = "abopl"
     minimal = True
+    uses_in_channel = False
 
     def __init__(self, topology: Mesh):
         super().__init__(topology)

@@ -25,6 +25,7 @@ class NegativeFirstRouting(RoutingAlgorithm):
 
     name = "negative-first"
     minimal = True
+    uses_in_channel = False
 
     def __init__(self, topology: Mesh):
         super().__init__(topology)

@@ -24,6 +24,7 @@ class NorthLastRouting(RoutingAlgorithm):
 
     name = "north-last"
     minimal = True
+    uses_in_channel = False
 
     def __init__(self, topology: Mesh):
         if topology.n_dims != 2:

@@ -32,12 +32,20 @@ __all__ = ["PCubeRouting"]
 class PCubeRouting(RoutingAlgorithm):
     """p-cube routing, minimal (Figure 11) or nonminimal (Figure 12)."""
 
+    uses_in_channel = False
+
     def __init__(self, topology: Hypercube, minimal: bool = True):
         if not isinstance(topology, Hypercube):
             raise ValueError("p-cube routing is defined for hypercubes")
         super().__init__(topology)
         self.minimal = minimal
         self.name = "p-cube" if minimal else "p-cube-nonminimal"
+        # A hypercube node has exactly one channel per dimension; the
+        # per-call dict build in route() is pure overhead, so do it once.
+        self._by_dim = {
+            node: {ch.direction.dim: ch for ch in topology.out_channels(node)}
+            for node in topology.nodes()
+        }
 
     def phase_one_dims(self, node: NodeId, dest: NodeId) -> list[int]:
         """Dimensions with ``c_i = 1`` and ``d_i = 0`` (``R = C & ~D``)."""
@@ -68,7 +76,7 @@ class PCubeRouting(RoutingAlgorithm):
     def route(
         self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
     ) -> Sequence[Channel]:
-        channels = {ch.direction.dim: ch for ch in self.topology.out_channels(node)}
+        channels = self._by_dim[node]
         return tuple(channels[dim] for dim in self.route_dims(node, dest))
 
     def choices(self, node: NodeId, dest: NodeId) -> tuple[int, int]:

@@ -54,9 +54,19 @@ class SelectionContext:
 
 
 class OutputSelectionPolicy(ABC):
-    """Chooses one output channel among the available candidates."""
+    """Chooses one output channel among the available candidates.
+
+    Attributes:
+        ranking: when the policy is a pure, context-free ranking of
+            channels, a function mapping a channel to its sort key —
+            ``select`` must equal ``min(candidates, key=ranking)`` (ties
+            to the earliest candidate).  The simulator then pre-ranks
+            channels once and skips the ``select`` call on its hot path.
+            Context-dependent or randomized policies leave it ``None``.
+    """
 
     name: str = "output-policy"
+    ranking: Optional[Callable[[Channel], tuple]] = None
 
     @abstractmethod
     def select(
@@ -77,6 +87,7 @@ class XYSelection(OutputSelectionPolicy):
     """
 
     name = "xy"
+    ranking = staticmethod(lambda ch: (ch.direction.dim, ch.wraparound))
 
     def select(
         self, candidates: Sequence[Channel], context: SelectionContext
@@ -117,9 +128,20 @@ class MostFreeSelection(OutputSelectionPolicy):
 
 
 class InputSelectionPolicy(ABC):
-    """Orders competing header requests for the same output channel."""
+    """Orders competing header requests for the same output channel.
+
+    Attributes:
+        stateless: whether :meth:`priority` is a pure function of the
+            arrival cycle — no randomness, no context dependence — and
+            *strictly increasing* in it (an earlier arrival never sorts
+            after a later one).  The simulator exploits this to keep the
+            waiter list incrementally ordered instead of re-sorting it
+            every cycle; policies that draw randomness or invert arrival
+            order must leave it False.
+    """
 
     name: str = "input-policy"
+    stateless: bool = False
 
     @abstractmethod
     def priority(self, arrival_cycle: int, context: SelectionContext) -> tuple:
@@ -133,6 +155,7 @@ class FCFSInputSelection(InputSelectionPolicy):
     """
 
     name = "fcfs"
+    stateless = True
 
     def priority(self, arrival_cycle: int, context: SelectionContext) -> tuple:
         return (arrival_cycle,)

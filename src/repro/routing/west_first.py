@@ -7,9 +7,9 @@ a packet must start out in that direction.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.core.directions import WEST
+from repro.core.directions import EAST, NORTH, SOUTH, WEST
 from repro.core.restrictions import west_first_restriction
 from repro.routing.base import RoutingAlgorithm
 from repro.routing.turn_table import TurnRestrictionRouting
@@ -24,15 +24,48 @@ class WestFirstRouting(RoutingAlgorithm):
 
     name = "west-first"
     minimal = True
+    uses_in_channel = False
 
     def __init__(self, topology: Mesh):
         if topology.n_dims != 2:
             raise ValueError("west-first routing is defined for 2D meshes")
         super().__init__(topology)
+        # Hot-path table: on a plain 2D mesh (no wraparounds, coordinate
+        # distances) the routing decision reduces to coordinate compares
+        # against precomputed per-node (W, E, S, N) channels, in the same
+        # candidate order productive_channels yields.  Other topologies
+        # (if ever passed) keep the generic path.
+        self._compass: Optional[Dict[NodeId, Tuple]] = None
+        if isinstance(topology, Mesh):
+            self._compass = {}
+            for node in topology.nodes():
+                by_dir = {ch.direction: ch for ch in topology.out_channels(node)}
+                self._compass[node] = (
+                    by_dir.get(WEST),
+                    by_dir.get(EAST),
+                    by_dir.get(SOUTH),
+                    by_dir.get(NORTH),
+                )
 
     def route(
         self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
     ) -> Sequence[Channel]:
+        compass = self._compass
+        if compass is not None:
+            west, east, south, north = compass[node]
+            x, y = node
+            if dest[0] < x:
+                # The destination is to the west: westward hops come first.
+                return (west,) if west is not None else ()
+            out = []
+            if dest[0] > x:
+                out.append(east)
+            dy = dest[1]
+            if dy < y:
+                out.append(south)
+            elif dy > y:
+                out.append(north)
+            return tuple(out)
         if dest[0] < node[0]:
             # The destination is to the west: all westward hops come first.
             channel = self.topology.channel_in_direction(node, WEST)

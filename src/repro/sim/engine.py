@@ -29,9 +29,12 @@ from __future__ import annotations
 
 import random
 from collections import deque
+from heapq import heapify, heappop, heappush
+from operator import attrgetter
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.routing.base import RoutingAlgorithm
+from repro.routing.cache import RouteCache
 from repro.routing.selection import SelectionContext
 from repro.sim.config import SimulationConfig
 from repro.sim.packet import Packet
@@ -46,6 +49,42 @@ __all__ = ["WormholeSimulator", "RoutingError"]
 
 class RoutingError(RuntimeError):
     """The routing algorithm offered no candidates for a reachable state."""
+
+
+#: Expected-message ceiling for the pre-drawn arrival schedule; above
+#: it the engine polls sources live instead of materializing the trace.
+PRE_DRAW_MESSAGE_LIMIT = 4_000_000
+
+
+def _arrival_key(packet: Packet) -> Tuple[int, int]:
+    return (packet.waiting_since, packet.pid)
+
+
+def _pid_key(packet: Packet) -> int:
+    return packet.pid
+
+
+_rank_of = attrgetter("rank")
+
+
+def _merge_waiters(a: List[Packet], b: List[Packet]) -> List[Packet]:
+    """Linear merge of two waiter lists sorted by (waiting_since, pid)."""
+    merged: List[Packet] = []
+    append = merged.append
+    i = j = 0
+    len_a, len_b = len(a), len(b)
+    while i < len_a and j < len_b:
+        pa = a[i]
+        pb = b[j]
+        if (pa.waiting_since, pa.pid) <= (pb.waiting_since, pb.pid):
+            append(pa)
+            i += 1
+        else:
+            append(pb)
+            j += 1
+    merged.extend(a[i:])
+    merged.extend(b[j:])
+    return merged
 
 
 class WormholeSimulator:
@@ -127,12 +166,110 @@ class WormholeSimulator:
         # without any allocation event.
         self._multilane = any(ch.lane != 0 for ch in self.topology.channels())
         self._phy_used: set = set()
+        # Hot-path state.  Routing is memoized when the algorithm is a
+        # pure function of (in_channel, node, dest); the cache resolves
+        # channels to their ChannelState up front so allocation is a
+        # dict lookup away from its candidates.
+        self._route_cache: Optional[RouteCache] = (
+            RouteCache(routing, resolve=self._net_states.__getitem__)
+            if getattr(routing, "cacheable", True)
+            else None
+        )
+        # Event-driven generation: one heap entry per source, keyed by
+        # its next arrival time, so a cycle only touches sources that
+        # actually release a message.  Silent sources (rate 0) never
+        # enter the heap.
+        self._arrival_heap: List[Tuple[float, int]] = [
+            (source.next_arrival, index)
+            for index, source in enumerate(self._sources)
+            if source.next_arrival != float("inf")
+        ]
+        heapify(self._arrival_heap)
+        # Pre-drawn arrival schedule.  Each source owns a private RNG
+        # stream (Workload.sources seeds one Random per node), so
+        # realizing every arrival up to the horizon now draws exactly
+        # the values the per-cycle polls would have drawn, in the same
+        # per-source order — the clock loop then consumes plain lists
+        # with no RNG work.  Discarded arrivals (a pattern declining to
+        # emit a destination) are kept as placeholder events so the
+        # arrival heap sees identical event times.  Skipped when the
+        # expected message volume would make the trace large; the
+        # engine then polls sources live, as before.
+        self._pre_pairs: Optional[List[List[Tuple[float, Optional[tuple]]]]] = None
+        self._pre_pos: List[int] = []
+        expected_messages = (
+            workload.messages_per_node_per_cycle
+            * len(self._sources)
+            * self.config.total_cycles
+        )
+        if expected_messages <= PRE_DRAW_MESSAGE_LIMIT:
+            last = self.config.total_cycles - 1
+            pairs_per: List[List[Tuple[float, Optional[tuple]]]] = []
+            for source in self._sources:
+                pairs: List[Tuple[float, Optional[tuple]]] = []
+                while source.next_arrival <= last:
+                    pairs.append((source.next_arrival, source.pull()))
+                pairs_per.append(pairs)
+            self._pre_pairs = pairs_per
+            self._pre_pos = [0] * len(self._sources)
+        # Source-queue total, maintained incrementally (counts preloads).
+        self._queued_total = sum(len(q) for q in self._queues)
+        # Waiters whose headers arrived since the last allocation pass;
+        # merged into the (incrementally ordered) waiter list there.
+        self._new_waiters: List[Packet] = []
+        # Parking (stateless input policies only): a blocked header
+        # leaves the waiter list and registers on each candidate
+        # channel's wake list; releasing a channel moves its valid
+        # entries to ``_woken``, which the next allocation pass merges
+        # back in (waiting_since, pid) order.  A stateful policy such as
+        # random selection recomputes priorities — and may draw from the
+        # shared RNG — for every waiter every cycle, so parked packets
+        # would change its stream; those policies keep the full scan.
+        self._park_enabled = self.config.input_policy.stateless
+        self._woken: List[Packet] = []
+        # Event-driven injection: only sources flagged here can start a
+        # packet — flagged when a message is created (queue became
+        # non-empty, including preloads) and when their injection channel
+        # is released.
+        self._node_index: Dict[NodeId, int] = {
+            source.node: index for index, source in enumerate(self._sources)
+        }
+        self._inj_list: List[ChannelState] = [
+            self._inj_states[source.node] for source in self._sources
+        ]
+        self._inj_candidates: set = {
+            index for index, queue in enumerate(self._queues) if queue
+        }
+        #: Flits transferred over the whole run (consumptions, channel
+        #: crossings, and injections) — the work metric of ``repro bench``.
+        self.flit_moves = 0
+        #: Main-loop iterations actually executed; less than the cycles
+        #: simulated when the idle fast-forward skips dead time.
+        self.cycles_executed = 0
+        # Whether the current cycle is inside the measurement window —
+        # hoisted out of the per-flit consumption accounting.
+        self._in_window = False
+        # Pure-ranking output policies (e.g. xy): each network channel's
+        # sort key is precomputed on its state, so a multi-candidate
+        # grant is a min() over the free list instead of a dict build
+        # plus a select() call.
+        ranking = getattr(self.config.output_policy, "ranking", None)
+        if ranking is not None:
+            for ch, state in self._net_states.items():
+                state.rank = ranking(ch)
+        self._rank_grant = ranking is not None
 
     # ------------------------------------------------------------------
     # Resource helpers
 
     def _free_space(self, channel: Channel) -> int:
         return self._net_states[channel].free_space
+
+    @property
+    def route_cache(self) -> Optional[RouteCache]:
+        """The memoized routing table, or ``None`` for uncacheable
+        algorithms (reported by ``repro bench``)."""
+        return self._route_cache
 
     def occupancy_snapshot(self) -> int:
         """Total flits currently buffered in the network (for tests)."""
@@ -145,84 +282,301 @@ class WormholeSimulator:
     # Phase 0: message generation and injection-channel allocation
 
     def _generate(self, stats: StatsCollector) -> None:
+        # Event-driven: only sources whose next arrival time has passed
+        # are popped from the heap and polled.  Ready sources are
+        # processed in source-index order — the order the reference
+        # polling loop visited them — so message creation order, the
+        # max_packets cut-off, and every per-source RNG stream are
+        # bit-identical to polling all sources each cycle (a source
+        # whose arrival is still in the future draws nothing either way).
+        heap = self._arrival_heap
+        cycle = self.cycle
+        if not heap or heap[0][0] > cycle:
+            return
+        ready: List[Tuple[float, int]] = []
+        while heap and heap[0][0] <= cycle:
+            ready.append(heappop(heap))
+        if len(ready) > 1:
+            ready.sort(key=lambda entry: entry[1])
         cap = self.config.max_packets
-        for source, queue in zip(self._sources, self._queues):
-            for dest, size, create_time in source.poll(self.cycle):
+        sources = self._sources
+        queues = self._queues
+        pre = self._pre_pairs
+        if cap is None and pre is not None:
+            # Uncapped fast path over the pre-drawn schedule: every
+            # arrival is enqueued, so the per-message cap check and
+            # counter updates hoist out, record_created's window test is
+            # inlined, and no RNG work happens on the clock.
+            pos_list = self._pre_pos
+            ws = stats.window_start
+            we = stats.window_end
+            add_candidate = self._inj_candidates.add
+            created = 0
+            offered = 0
+            measured = 0
+            for _, index in ready:
+                pairs = pre[index]
+                pos = pos_list[index]
+                n = len(pairs)
+                queue = queues[index]
+                before = created
+                while pos < n:
+                    arrival, entry = pairs[pos]
+                    if arrival > cycle:
+                        break
+                    pos += 1
+                    if entry is not None:
+                        queue.append(entry)
+                        created += 1
+                        if ws <= arrival < we:
+                            offered += entry[1]
+                            measured += 1
+                pos_list[index] = pos
+                heappush(
+                    heap,
+                    (
+                        pairs[pos][0] if pos < n else sources[index].next_arrival,
+                        index,
+                    ),
+                )
+                if created != before:
+                    add_candidate(index)
+            self._messages_created += created
+            self._queued_total += created
+            stats.offered_flits_in_window += offered
+            stats.measured_created += measured
+            return
+        if cap is None:
+            # Uncapped, live polling (schedule precompute was skipped).
+            ws = stats.window_start
+            we = stats.window_end
+            add_candidate = self._inj_candidates.add
+            created = 0
+            offered = 0
+            measured = 0
+            for _, index in ready:
+                source = sources[index]
+                arrivals = source.poll(cycle)
+                heappush(heap, (source.next_arrival, index))
+                if arrivals:
+                    queue = queues[index]
+                    add_candidate(index)
+                    for entry in arrivals:
+                        queue.append(entry)
+                        if ws <= entry[2] < we:
+                            offered += entry[1]
+                            measured += 1
+                    created += len(arrivals)
+            self._messages_created += created
+            self._queued_total += created
+            stats.offered_flits_in_window += offered
+            stats.measured_created += measured
+            return
+        for pos, (_, index) in enumerate(ready):
+            if pre is not None:
+                pairs = pre[index]
+                p = self._pre_pos[index]
+                n = len(pairs)
+                arrivals = []
+                while p < n and pairs[p][0] <= cycle:
+                    entry = pairs[p][1]
+                    if entry is not None:
+                        arrivals.append(entry)
+                    p += 1
+                self._pre_pos[index] = p
+                next_key = (
+                    pairs[p][0] if p < n else sources[index].next_arrival
+                )
+            else:
+                source = sources[index]
+                arrivals = source.poll(cycle)
+                next_key = source.next_arrival
+            heappush(heap, (next_key, index))
+            queue = queues[index]
+            for dest, size, create_time in arrivals:
                 if cap is not None and self._messages_created >= cap:
+                    # The reference loop returns here too, leaving the
+                    # remaining sources untouched this cycle; keep their
+                    # heap entries so they are revisited next cycle.
+                    for entry in ready[pos + 1 :]:
+                        heappush(heap, entry)
                     return
                 self._messages_created += 1
                 queue.append((dest, size, create_time))
+                self._queued_total += 1
+                self._inj_candidates.add(index)
                 stats.record_created(create_time, size)
 
     def _start_packets(self) -> None:
-        for source, queue in zip(self._sources, self._queues):
+        # Event-driven: only flagged sources are visited, in source-index
+        # order so pids are assigned exactly as the reference full scan
+        # assigned them.  A source that cannot start a packet right now
+        # is dropped from the candidate set — the event that changes
+        # that (a new message, or its injection channel being released)
+        # re-flags it.
+        pending = self._inj_candidates
+        if not pending:
+            return
+        cycle = self.cycle
+        trace = self.trace
+        sources = self._sources
+        queues = self._queues
+        inj_list = self._inj_list
+        active = self._active
+        for index in sorted(pending):
+            queue = queues[index]
             if not queue:
                 continue
-            inj = self._inj_states[source.node]
+            inj = inj_list[index]
             if inj.owner is not None:
                 continue
             dest, size, create_time = queue.popleft()
+            self._queued_total -= 1
+            source = sources[index]
             packet = Packet(self._next_pid, source.node, dest, size, create_time)
             self._next_pid += 1
             inj.owner = packet
             packet.path.append(inj)
             packet.occupancy.append(0)
-            self._active.append(packet)
+            active.append(packet)
             self._total_injected += 1
-            self._last_progress = self.cycle
-            if self.trace is not None:
-                self.trace.record(
-                    self.cycle, "injected", packet.pid, (source.node, dest)
-                )
+            self._last_progress = cycle
+            if trace is not None:
+                trace.record(cycle, "injected", packet.pid, (source.node, dest))
+        pending.clear()
 
     # ------------------------------------------------------------------
     # Phase 1: routing and channel allocation
 
     def _candidates_for(self, packet: Packet) -> Tuple[ChannelState, ...]:
         front = packet.path[-1]
-        node = front.destination_node()
+        node = front.dest_node
         if node == packet.dest:
             return (self._ej_states[node],)
         in_channel = front.channel  # None for the injection channel
-        channels = self.routing.route(in_channel, node, packet.dest)
-        if not channels:
+        cache = self._route_cache
+        if cache is not None:
+            states = cache.candidates(in_channel, node, packet.dest)
+        else:
+            states = tuple(
+                self._net_states[ch]
+                for ch in self.routing.route(in_channel, node, packet.dest)
+            )
+        if not states:
             raise RoutingError(
                 f"{self.routing.name} offered no route for {packet!r} at {node} "
                 f"(arrived via {in_channel})"
             )
-        return tuple(self._net_states[ch] for ch in channels)
+        return states
 
     def _allocate(self) -> None:
-        if not self._waiters:
+        # The waiter list stays incrementally ordered for stateless
+        # input policies: headers that arrived since the last pass all
+        # share the current arrival cycle, which (for a policy whose
+        # priority is strictly increasing in it, e.g. FCFS) sorts them
+        # after every existing waiter — so a pid-sort of the newcomers
+        # appended at the tail reproduces the reference full sort by
+        # (*priority, pid) without re-sorting the whole list each cycle.
+        waiters = self._waiters
+        policy = self.config.input_policy
+        new = self._new_waiters
+        park = self._park_enabled
+        woken = self._woken
+        if woken:
+            # Woken (previously parked) packets arrived at their routers
+            # strictly before this cycle's new headers, so sorted-woken +
+            # sorted-new is itself (waiting_since, pid)-ordered; the
+            # existing waiters (routing-delay holdovers) interleave with
+            # the woken ones, hence the linear merge.
+            if len(woken) > 1:
+                woken.sort(key=_arrival_key)
+            if new:
+                if len(new) > 1:
+                    new.sort(key=_pid_key)
+                woken.extend(new)
+                new.clear()
+            if waiters:
+                waiters = _merge_waiters(waiters, woken)
+            else:
+                waiters = list(woken)
+            self._waiters = waiters
+            woken.clear()
+        elif new:
+            if park and len(new) > 1:
+                new.sort(key=_pid_key)
+            waiters.extend(new)
+            new.clear()
+        if not waiters:
             return
         context = self._context
-        policy = self.config.input_policy
         delay = self.config.routing_delay_cycles
-        order = sorted(
-            self._waiters,
-            key=lambda p: (*policy.priority(p.waiting_since, context), p.pid),
-        )
+        cycle = self.cycle
+        if policy.stateless:
+            order = waiters
+        else:
+            order = sorted(
+                waiters,
+                key=lambda p: (*policy.priority(p.waiting_since, context), p.pid),
+            )
+        trace = self.trace
+        output_policy = self.config.output_policy
+        rank_grant = self._rank_grant
+        candidates_for = self._candidates_for
         still_waiting: List[Packet] = []
+        append_waiting = still_waiting.append
         for packet in order:
-            if self.cycle - packet.waiting_since < delay:
+            if cycle - packet.waiting_since < delay:
                 # The router is still computing this header's route
                 # (routing_delay_cycles > 1 models slower selection logic).
-                still_waiting.append(packet)
+                append_waiting(packet)
                 continue
-            if packet.pending_candidates is None:
-                packet.pending_candidates = self._candidates_for(packet)
-            free = [s for s in packet.pending_candidates if s.owner is None]
-            if not free:
-                still_waiting.append(packet)
-                continue
-            if len(free) == 1 or free[0].kind == EJECTION:
-                chosen = free[0]
+            candidates = packet.pending_candidates
+            if candidates is None:
+                candidates = packet.pending_candidates = candidates_for(packet)
+            if len(candidates) == 1:
+                # Single candidate (ejection, or a one-way route): no
+                # free-list build, no selection.
+                chosen = candidates[0]
+                if chosen.owner is not None:
+                    if park:
+                        token = packet.park_token + 1
+                        packet.park_token = token
+                        packet.parked = True
+                        chosen.wake.append((packet, token))
+                    else:
+                        append_waiting(packet)
+                    continue
             else:
-                by_channel = {s.channel: s for s in free}
-                pick = self.config.output_policy.select(
-                    list(by_channel), context
-                )
-                chosen = by_channel[pick]
+                free = [s for s in candidates if s.owner is None]
+                if not free:
+                    if park:
+                        # Nothing can free a candidate except a release
+                        # in the movement phase, which wakes the packet —
+                        # so leaving the waiter list loses no grant
+                        # opportunity.
+                        token = packet.park_token + 1
+                        packet.park_token = token
+                        packet.parked = True
+                        for s in candidates:
+                            s.wake.append((packet, token))
+                    else:
+                        append_waiting(packet)
+                    continue
+                # Multi-candidate routes never include the ejection
+                # channel (_candidates_for returns it alone), so no
+                # EJECTION short-circuit is needed here.
+                if len(free) == 1:
+                    chosen = free[0]
+                elif rank_grant:
+                    # The output policy is a pure ranking: min over the
+                    # free states by their precomputed key, ties to the
+                    # earliest candidate — exactly the reference min
+                    # over the candidate channels.
+                    chosen = min(free, key=_rank_of)
+                else:
+                    by_channel = {s.channel: s for s in free}
+                    pick = output_policy.select(list(by_channel), context)
+                    chosen = by_channel[pick]
             chosen.owner = packet
             packet.path.append(chosen)
             packet.occupancy.append(0)
@@ -233,16 +587,12 @@ class WormholeSimulator:
                 packet.route_complete = True
             else:
                 packet.hops += 1
-            self._last_progress = self.cycle
-            if self.trace is not None:
+            self._last_progress = cycle
+            if trace is not None:
                 if chosen.kind == EJECTION:
-                    self.trace.record(
-                        self.cycle, "eject-granted", packet.pid, chosen.node
-                    )
+                    trace.record(cycle, "eject-granted", packet.pid, chosen.node)
                 else:
-                    self.trace.record(
-                        self.cycle, "granted", packet.pid, chosen.channel
-                    )
+                    trace.record(cycle, "granted", packet.pid, chosen.channel)
         self._waiters = still_waiting
 
     # ------------------------------------------------------------------
@@ -251,7 +601,8 @@ class WormholeSimulator:
     def _move(self, packet: Packet, stats: StatsCollector) -> bool:
         path = packet.path
         occ = packet.occupancy
-        moved = False
+        cycle = self.cycle
+        moves = 0
         # Consume at the destination processor: one flit per cycle off the
         # ejection buffer ("messages that arrive ... are immediately
         # consumed").
@@ -259,31 +610,44 @@ class WormholeSimulator:
             occ[-1] -= 1
             path[-1].count -= 1
             packet.flits_consumed += 1
-            stats.record_flit_consumed(self.cycle)
-            moved = True
+            if self._in_window:
+                stats.flits_delivered_in_window += 1
+            moves = 1
         # Advance flits across each held channel, front boundary first, so
         # a slot freed downstream is reusable upstream in the same cycle.
         front_index = len(path) - 1
         multilane = self._multilane
-        for i in range(front_index, 0, -1):
-            downstream = path[i]
-            if occ[i - 1] > 0 and downstream.count < downstream.capacity:
+        if multilane:
+            phy_used = self._phy_used
+        # Walk front to back carrying the downstream state: iteration i's
+        # upstream is iteration i-1's downstream, saving one list index
+        # per boundary.
+        i = front_index
+        downstream = path[i]
+        while i:
+            upstream = path[i - 1]
+            below = occ[i - 1]
+            if below and downstream.count < downstream.capacity:
                 if multilane and downstream.kind == NETWORK:
                     physical = downstream.channel.physical
-                    if physical in self._phy_used:
+                    if physical in phy_used:
+                        i -= 1
+                        downstream = upstream
                         continue
-                    self._phy_used.add(physical)
-                occ[i - 1] -= 1
-                path[i - 1].count -= 1
+                    phy_used.add(physical)
+                occ[i - 1] = below - 1
+                upstream.count -= 1
                 occ[i] += 1
                 downstream.count += 1
-                moved = True
+                moves += 1
                 if (
                     i == front_index
                     and not packet.header_present
                     and not packet.route_complete
                 ):
                     self._header_arrived(packet)
+            i -= 1
+            downstream = upstream
         # Inject the next flit from the source queue into the injection
         # buffer (the packet owns its injection channel until fully
         # injected).
@@ -293,9 +657,9 @@ class WormholeSimulator:
                 occ[0] += 1
                 rear.count += 1
                 packet.remaining_to_inject -= 1
-                moved = True
+                moves += 1
                 if packet.inject_cycle is None:
-                    packet.inject_cycle = self.cycle
+                    packet.inject_cycle = cycle
                     self._header_arrived(packet)
         # Release channels the tail has fully passed.
         while len(path) > 1 and occ[0] == 0:
@@ -303,23 +667,112 @@ class WormholeSimulator:
             if rear.kind == INJECTION and packet.remaining_to_inject > 0:
                 break
             rear.owner = None
-            path.pop(0)
-            occ.pop(0)
-        if not moved and not packet.route_complete and not self._multilane:
+            self._released(rear)
+            del path[0]
+            del occ[0]
+        if moves:
+            self.flit_moves += moves
+            return True
+        if not packet.route_complete and not multilane:
             packet.stalled = True
-        return moved
+        return False
+
+    def _move1(self, packet: Packet, stats: StatsCollector) -> bool:
+        """:meth:`_move` specialized for single-flit buffers, single lane.
+
+        With ``buffer_depth == 1`` (the paper's routers) every occupancy
+        is 0 or 1 and — because wormhole ownership is exclusive — a held
+        channel's buffer count always equals the owner's occupancy entry,
+        so a boundary moves iff the upstream slot is full and the
+        downstream slot is empty, and every count update is a constant
+        store.  Behaviour is identical to :meth:`_move`.
+        """
+        path = packet.path
+        occ = packet.occupancy
+        moves = 0
+        if packet.route_complete and occ[-1]:
+            occ[-1] = 0
+            path[-1].count = 0
+            packet.flits_consumed += 1
+            if self._in_window:
+                stats.flits_delivered_in_window += 1
+            moves = 1
+        i = len(path) - 1
+        front_index = i
+        downstream = path[i]
+        down_occ = occ[i]
+        while i:
+            upstream = path[i - 1]
+            up_occ = occ[i - 1]
+            if up_occ and not down_occ:
+                occ[i - 1] = 0
+                upstream.count = 0
+                occ[i] = 1
+                downstream.count = 1
+                moves += 1
+                if (
+                    i == front_index
+                    and not packet.header_present
+                    and not packet.route_complete
+                ):
+                    self._header_arrived(packet)
+                up_occ = 0
+            i -= 1
+            downstream = upstream
+            down_occ = up_occ
+        if packet.remaining_to_inject > 0 and not occ[0]:
+            occ[0] = 1
+            path[0].count = 1
+            packet.remaining_to_inject -= 1
+            moves += 1
+            if packet.inject_cycle is None:
+                packet.inject_cycle = self.cycle
+                self._header_arrived(packet)
+        while occ[0] == 0 and len(path) > 1:
+            rear = path[0]
+            if rear.kind == INJECTION and packet.remaining_to_inject > 0:
+                break
+            rear.owner = None
+            self._released(rear)
+            del path[0]
+            del occ[0]
+        if moves:
+            self.flit_moves += moves
+            return True
+        if not packet.route_complete:
+            packet.stalled = True
+        return False
+
+    def _released(self, state: ChannelState) -> None:
+        # An owner release is the only event that can unblock a parked
+        # header or let a backlogged source inject, so this hook is the
+        # sole feeder of ``_woken`` and (with message creation)
+        # ``_inj_candidates``.
+        if state.kind == INJECTION:
+            self._inj_candidates.add(self._node_index[state.node])
+            return
+        wake = state.wake
+        if wake:
+            woken = self._woken
+            for entry in wake:
+                parked = entry[0]
+                if parked.parked and parked.park_token == entry[1]:
+                    parked.parked = False
+                    woken.append(parked)
+            wake.clear()
 
     def _header_arrived(self, packet: Packet) -> None:
         packet.header_present = True
         packet.waiting_since = self.cycle
         packet.pending_candidates = None
-        self._waiters.append(packet)
+        self._new_waiters.append(packet)
 
     def _finish(self, packet: Packet, stats: StatsCollector) -> None:
         # Once every flit is consumed the held buffers are empty; just
         # release the channels (normally only the ejection channel remains).
         for state in packet.path:
             state.owner = None
+            self._released(state)
         packet.path.clear()
         packet.occupancy.clear()
         self._total_delivered += 1
@@ -334,70 +787,152 @@ class WormholeSimulator:
     # Main loop
 
     def run(self) -> SimulationResult:
-        """Run the configured number of cycles and return the results."""
+        """Run the configured number of cycles and return the results.
+
+        The main loop fast-forwards over *idle* stretches: when no
+        packet is active, no header is waiting, and every source queue
+        is empty, nothing can happen until the next message arrival, so
+        the clock jumps straight to it.  The jump is clamped to the
+        warmup/measurement window boundaries (their queue samples must
+        be taken on the exact reference cycles) and to the final cycle,
+        and the deadlock watchdog only measures stalls while packets are
+        in flight — so skipped cycles are exactly the cycles on which
+        the reference engine did nothing, and results are bit-identical.
+        """
         config = self.config
-        stats = StatsCollector(
-            config.warmup_cycles, config.warmup_cycles + config.measure_cycles
+        warmup = config.warmup_cycles
+        window_end = warmup + config.measure_cycles
+        stats = StatsCollector(warmup, window_end)
+        total = config.total_cycles
+        max_packets = config.max_packets
+        deadlock_threshold = config.deadlock_threshold
+        multilane = self._multilane
+        context = self._context
+        trace = self.trace
+        move = (
+            self._move1
+            if not multilane and config.buffer_depth == 1
+            else self._move
         )
-        window_end = config.warmup_cycles + config.measure_cycles
-        for self.cycle in range(config.total_cycles):
-            self._context.cycle = self.cycle
-            if self.cycle == config.warmup_cycles:
-                stats.queue_len_at_window_start = self._total_queued()
-            if self.cycle == window_end:
-                stats.queue_len_at_window_end = self._total_queued()
-            self._generate(stats)
-            self._start_packets()
-            self._allocate()
-            if self._multilane:
+        generate = self._generate
+        start_packets = self._start_packets
+        allocate = self._allocate
+        # All four containers are mutated in place, never rebound, so
+        # they can feed the per-cycle phase-dispatch checks as locals
+        # (the waiter list IS rebound by _allocate and is read fresh).
+        heap = self._arrival_heap
+        inj_candidates = self._inj_candidates
+        new_waiters = self._new_waiters
+        woken = self._woken
+        active = self._active
+        cycle = 0
+        while cycle < total:
+            self.cycle = cycle
+            context.cycle = cycle
+            self.cycles_executed += 1
+            self._in_window = warmup <= cycle < window_end
+            if cycle == warmup:
+                stats.queue_len_at_window_start = self._queued_total
+            if cycle == window_end:
+                stats.queue_len_at_window_end = self._queued_total
+            # Dispatch each phase only when it has work: a phase with an
+            # empty work set is a no-op in the reference engine too.
+            if heap and heap[0][0] <= cycle:
+                generate(stats)
+            if inj_candidates:
+                start_packets()
+            if self._waiters or new_waiters or woken:
+                allocate()
+            if multilane:
                 self._phy_used.clear()
-                if len(self._active) > 1:
+                if len(active) > 1:
                     # Rotate processing order so no packet systematically
                     # wins the physical-bandwidth race between lanes.
-                    self._active.append(self._active.pop(0))
+                    active.append(active.pop(0))
             any_moved = False
-            finished: List[Packet] = []
-            for packet in self._active:
+            finished: Optional[List[Packet]] = None
+            for packet in active:
                 if packet.stalled:
                     continue
-                if self._move(packet, stats):
+                if move(packet, stats):
                     any_moved = True
-                if packet.done:
-                    finished.append(packet)
-            if finished:
+                    # Consumption happens only inside a successful move,
+                    # so the finished check hides behind it.
+                    if packet.flits_consumed >= packet.size:
+                        if finished is None:
+                            finished = [packet]
+                        else:
+                            finished.append(packet)
+            if finished is not None:
                 for packet in finished:
                     self._finish(packet, stats)
-                self._active = [p for p in self._active if not p.done]
+                    # Identity-based removal preserves the order the
+                    # reference rebuild kept.
+                    active.remove(packet)
             if any_moved:
-                self._last_progress = self.cycle
+                self._last_progress = cycle
             elif (
-                self._active
-                and self.cycle - self._last_progress >= config.deadlock_threshold
+                active
+                and cycle - self._last_progress >= deadlock_threshold
             ):
                 self._deadlocked = True
-                if self.trace is not None:
-                    self.trace.record(self.cycle, "deadlock", -1)
+                if trace is not None:
+                    trace.record(cycle, "deadlock", -1)
                 break
             if (
-                config.max_packets is not None
-                and self._messages_created >= config.max_packets
-                and not self._active
-                and self._total_queued() == 0
+                max_packets is not None
+                and self._messages_created >= max_packets
+                and not active
+                and self._queued_total == 0
             ):
                 break
+            cycle += 1
+            if (
+                not active
+                and cycle < total
+                and not self._waiters
+                and not new_waiters
+                and self._queued_total == 0
+            ):
+                # Idle fast-forward: jump to the next arrival (the heap
+                # top), clamped so window-boundary cycles and the final
+                # cycle still execute.
+                if heap:
+                    next_arrival = heap[0][0]
+                    target = int(next_arrival)
+                    if target < next_arrival:
+                        target += 1
+                else:
+                    target = total - 1
+                if cycle <= warmup:
+                    target = min(target, warmup)
+                elif cycle <= window_end:
+                    target = min(target, window_end)
+                if target > cycle:
+                    cycle = min(target, total - 1)
         if stats.queue_len_at_window_start is None:
-            stats.queue_len_at_window_start = self._total_queued()
+            stats.queue_len_at_window_start = self._queued_total
         if stats.queue_len_at_window_end is None:
-            stats.queue_len_at_window_end = self._total_queued()
+            stats.queue_len_at_window_end = self._queued_total
         return self._result(stats)
 
     def _total_queued(self) -> int:
-        return sum(len(q) for q in self._queues)
+        return self._queued_total
 
     def _result(self, stats: StatsCollector) -> SimulationResult:
         latencies = stats.latencies_cycles
         hops = stats.hops
         delays = stats.queue_delays_cycles
+        # Explicit None checks: a legitimate sample of 0 (empty queues at
+        # a window boundary) must not be confused with "never sampled"
+        # (run() backfills both before calling here, but a truthiness
+        # fallback would silently mask that distinction).
+        queue_start = stats.queue_len_at_window_start
+        if queue_start is None:
+            queue_start = 0
+        queue_end = stats.queue_len_at_window_end
+        if queue_end is None:
+            queue_end = 0
         by_size = {
             size: sum(values) / len(values)
             for size, values in sorted(stats.latencies_by_size.items())
@@ -414,8 +949,8 @@ class WormholeSimulator:
             measure_cycles=self.config.measure_cycles,
             avg_hops=sum(hops) / len(hops) if hops else 0.0,
             avg_queue_delay_cycles=sum(delays) / len(delays) if delays else 0.0,
-            queue_start=stats.queue_len_at_window_start or 0,
-            queue_end=stats.queue_len_at_window_end or 0,
+            queue_start=queue_start,
+            queue_end=queue_end,
             deadlocked=self._deadlocked,
             total_injected=self._total_injected,
             total_delivered=self._total_delivered,

@@ -47,6 +47,10 @@ class Packet:
             further routing decisions remain.
         stalled: no internal movement is possible until the next grant;
             lets the engine skip the packet's movement pass.
+        parked: the header is blocked and the packet has left the waiter
+            list; a candidate channel's release will wake it.
+        park_token: generation counter distinguishing the current parking
+            from stale wake-list entries left by earlier ones.
         pending_candidates: cached routing candidates for the current
             router, computed once per router visit.
         hops: network channels traversed by the header so far.
@@ -67,6 +71,8 @@ class Packet:
         "waiting_since",
         "route_complete",
         "stalled",
+        "parked",
+        "park_token",
         "pending_candidates",
         "hops",
     )
@@ -93,6 +99,8 @@ class Packet:
         self.waiting_since = 0
         self.route_complete = False
         self.stalled = False
+        self.parked = False
+        self.park_token = 0
         self.pending_candidates = None
         self.hops = 0
 

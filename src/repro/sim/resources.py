@@ -38,9 +38,17 @@ class ChannelState:
         capacity: buffer depth in flits (the paper uses 1).
         count: flits currently buffered.
         owner: packet holding the channel, or ``None`` if free.
+        wake: ``(packet, park_token)`` entries of parked packets to wake
+            when this channel is released (engine-managed; entries whose
+            token is stale are ignored).
+        dest_node: the node a flit is at after crossing this channel,
+            precomputed for the routing hot path.
+        rank: the output-selection sort key of this channel under a pure
+            ranking policy (engine-assigned; ``None`` otherwise).
     """
 
-    __slots__ = ("kind", "channel", "node", "capacity", "count", "owner")
+    __slots__ = ("kind", "channel", "node", "capacity", "count", "owner",
+                 "wake", "dest_node", "rank")
 
     def __init__(
         self,
@@ -61,6 +69,9 @@ class ChannelState:
         self.capacity = capacity
         self.count = 0
         self.owner: Optional["Packet"] = None
+        self.wake: list = []
+        self.dest_node: NodeId = channel.dst if kind == NETWORK else node  # type: ignore[union-attr,assignment]
+        self.rank: Optional[tuple] = None
 
     @property
     def free_space(self) -> int:
@@ -74,11 +85,7 @@ class ChannelState:
 
     def destination_node(self) -> NodeId:
         """The node a flit is at after crossing this channel."""
-        if self.kind == NETWORK:
-            assert self.channel is not None
-            return self.channel.dst
-        assert self.node is not None
-        return self.node
+        return self.dest_node
 
     def __repr__(self) -> str:
         where = self.channel if self.kind == NETWORK else self.node

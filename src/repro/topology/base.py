@@ -120,6 +120,13 @@ class Topology(ABC):
         """Per-dimension displacement ``dst - src`` (no wraparound)."""
         return tuple(d - s for s, d in zip(src, dst))
 
+    @cached_property
+    def _direction_pairs(self) -> tuple[tuple[Direction, Direction], ...]:
+        """Interned ``(negative, positive)`` directions per dimension."""
+        return tuple(
+            (Direction(dim, -1), Direction(dim, 1)) for dim in range(self.n_dims)
+        )
+
     def minimal_directions(self, src: NodeId, dst: NodeId) -> tuple[Direction, ...]:
         """Directions that reduce the (mesh) distance from ``src`` to ``dst``.
 
@@ -128,12 +135,13 @@ class Topology(ABC):
         destination coordinate.  Subclasses with wraparound channels may
         override to account for shorter wrapped paths.
         """
+        pairs = self._direction_pairs
         productive = []
         for dim, (s, d) in enumerate(zip(src, dst)):
             if d > s:
-                productive.append(Direction(dim, 1))
+                productive.append(pairs[dim][1])
             elif d < s:
-                productive.append(Direction(dim, -1))
+                productive.append(pairs[dim][0])
         return tuple(productive)
 
     def __repr__(self) -> str:

@@ -51,6 +51,21 @@ class Channel:
     wraparound: bool = False
     lane: int = 0
 
+    def __post_init__(self) -> None:
+        # Channels key the simulator's hot dicts (channel states, route
+        # cache), so their hash is computed millions of times per run.
+        # Cache it — with the exact value the frozen dataclass would
+        # generate (the hash of the field tuple), so hash-ordered
+        # containers iterate identically with or without the cache.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.src, self.dst, self.direction, self.wraparound, self.lane)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
     @property
     def physical(self) -> Tuple[NodeId, NodeId]:
         """The physical link this channel occupies (shared across lanes)."""

@@ -10,6 +10,7 @@ generator the simulator polls each cycle.
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
@@ -37,6 +38,21 @@ class SizeDistribution:
         total = sum(p for _, p in self.choices)
         if abs(total - 1.0) > 1e-9:
             raise ValueError(f"probabilities must sum to 1, got {total}")
+        # Precompute the cumulative table once so sample() is a bisect
+        # instead of a linear scan.  The running sum is accumulated in
+        # choice order, exactly as the scan did, so the table holds the
+        # very same float partial sums and seeded draw streams are
+        # unchanged.  (object.__setattr__ because the dataclass is
+        # frozen; the table is derived state, not a field.)
+        sizes = []
+        cumulative = []
+        running = 0.0
+        for size, probability in self.choices:
+            running += probability
+            sizes.append(size)
+            cumulative.append(running)
+        object.__setattr__(self, "_sizes", tuple(sizes))
+        object.__setattr__(self, "_cumulative", tuple(cumulative))
 
     @property
     def mean(self) -> float:
@@ -44,14 +60,17 @@ class SizeDistribution:
         return sum(size * p for size, p in self.choices)
 
     def sample(self, rng: random.Random) -> int:
-        """Draw one packet size."""
+        """Draw one packet size.
+
+        Binary-searches the precomputed cumulative table; equivalent to
+        (and bit-identical with) scanning for the first entry whose
+        partial sum exceeds the roll, with the last size as the fallback
+        against floating-point shortfall in the final partial sum.
+        """
         roll = rng.random()
-        cumulative = 0.0
-        for size, probability in self.choices:
-            cumulative += probability
-            if roll < cumulative:
-                return size
-        return self.choices[-1][0]
+        index = bisect_right(self._cumulative, roll)
+        sizes = self._sizes
+        return sizes[index] if index < len(sizes) else sizes[-1]
 
     @classmethod
     def fixed(cls, size: int) -> "SizeDistribution":
@@ -91,15 +110,57 @@ class NodeSource:
     def _draw_gap(self) -> float:
         return self._rng.expovariate(self._rate)
 
+    @property
+    def next_arrival(self) -> float:
+        """Arrival time of the next message (``inf`` for a silent source).
+
+        The event-driven generation path keys its arrival heap on this,
+        so the simulator only touches a source on cycles where it
+        actually releases a message.
+        """
+        return self._next_arrival
+
+    def pull(self) -> Optional[Tuple[NodeId, int, float]]:
+        """Realize the pending arrival and advance to the next one.
+
+        Draws, in order, the destination, the size (only when the
+        destination draw produced one), and the next interarrival gap —
+        the exact per-source RNG draw order of one :meth:`poll` loop
+        iteration, so polling and event-driven callers consume identical
+        seeded streams.  Returns ``None`` for a discarded arrival (the
+        pattern declined to emit a destination).
+        """
+        arrival = self._next_arrival
+        dest = self._pattern.destination(self.node, self._rng)
+        entry = None
+        if dest is not None:
+            entry = (dest, self._sizes.sample(self._rng), arrival)
+        self._next_arrival = arrival + self._draw_gap()
+        return entry
+
     def poll(self, cycle: int) -> list[Tuple[NodeId, int, float]]:
         """Messages arriving by ``cycle``: (destination, size, arrival time)."""
-        arrivals = []
-        while self._next_arrival <= cycle:
-            dest = self._pattern.destination(self.node, self._rng)
+        arrivals: list[Tuple[NodeId, int, float]] = []
+        arrival = self._next_arrival
+        if arrival > cycle:
+            return arrivals
+        # The pull() loop, inlined with the lookups hoisted.  The per-
+        # iteration draw order (destination, size when one was emitted,
+        # gap) is unchanged, so the seeded stream matches pull()-based
+        # polling exactly.
+        rng = self._rng
+        node = self.node
+        destination = self._pattern.destination
+        sample = self._sizes.sample
+        expovariate = rng.expovariate
+        rate = self._rate
+        append = arrivals.append
+        while arrival <= cycle:
+            dest = destination(node, rng)
             if dest is not None:
-                size = self._sizes.sample(self._rng)
-                arrivals.append((dest, size, self._next_arrival))
-            self._next_arrival += self._draw_gap()
+                append((dest, sample(rng), arrival))
+            arrival += expovariate(rate)
+        self._next_arrival = arrival
         return arrivals
 
 

@@ -1,0 +1,87 @@
+"""Unit tests for the memoizing route cache."""
+
+import pytest
+
+from repro.routing import make_routing
+from repro.routing.cache import RouteCache
+from repro.topology import Mesh2D
+
+
+class TestCounting:
+    def test_hits_and_misses_are_counted(self):
+        mesh = Mesh2D(4, 4)
+        cache = RouteCache(make_routing("north-last", mesh))
+        first = cache.candidates(None, (0, 0), (3, 3))
+        again = cache.candidates(None, (0, 0), (3, 3))
+        assert first is again  # same tuple object on every lookup
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+        assert cache.hit_rate == 0.5
+
+    def test_clear_drops_entries_but_keeps_counters(self):
+        mesh = Mesh2D(4, 4)
+        cache = RouteCache(make_routing("west-first", mesh))
+        cache.candidates(None, (1, 1), (3, 3))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1
+
+
+class TestKeyCollapse:
+    def test_in_channel_ignoring_algorithms_share_one_key(self):
+        # west-first ignores the arrival channel and advertises it; every
+        # arrival channel of a router then maps to one cache entry.
+        mesh = Mesh2D(4, 4)
+        routing = make_routing("west-first", mesh)
+        assert routing.uses_in_channel is False
+        cache = RouteCache(routing)
+        node, dest = (2, 2), (0, 0)
+        via = [ch for ch in mesh.channels() if ch.dst == node]
+        assert len(via) >= 2
+        results = [cache.candidates(ch, node, dest) for ch in via]
+        assert cache.misses == 1
+        assert cache.hits == len(via) - 1
+        assert all(r is results[0] for r in results)
+
+    def test_in_channel_sensitive_algorithms_key_per_channel(self):
+        # Turn-restriction routing constrains the turn taken, so the
+        # arrival channel is part of the routing state and of the key.
+        from repro.sim.deadlock import unrestricted_adaptive_routing
+
+        mesh = Mesh2D(4, 4)
+        routing = unrestricted_adaptive_routing(mesh)
+        assert getattr(routing, "uses_in_channel", True) is True
+        cache = RouteCache(routing)
+        node, dest = (2, 2), (0, 0)
+        via = [ch for ch in mesh.channels() if ch.dst == node]
+        for ch in via:
+            cache.candidates(ch, node, dest)
+        assert cache.misses == len(via)
+
+
+class TestResolve:
+    def test_resolve_maps_channels_at_fill_time(self):
+        mesh = Mesh2D(4, 4)
+        routing = make_routing("west-first", mesh)
+        seen = []
+
+        def resolve(channel):
+            seen.append(channel)
+            return ("state", channel)
+
+        cache = RouteCache(routing, resolve=resolve)
+        states = cache.candidates(None, (2, 2), (0, 0))
+        raw = tuple(routing.route(None, (2, 2), (0, 0)))
+        assert states == tuple(("state", ch) for ch in raw)
+        # A hit reuses the resolved tuple without re-resolving.
+        cache.candidates(None, (2, 2), (0, 0))
+        assert len(seen) == len(raw)
+
+
+class TestGuards:
+    def test_uncacheable_algorithms_are_rejected(self):
+        mesh = Mesh2D(4, 4)
+        routing = make_routing("west-first", mesh)
+        routing.cacheable = False
+        with pytest.raises(ValueError, match="cacheable"):
+            RouteCache(routing)

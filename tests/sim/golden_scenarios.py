@@ -1,0 +1,152 @@
+"""Seeded scenarios pinned by the golden-digest determinism tests.
+
+Each scenario builds a fresh, fully seeded :class:`WormholeSimulator`
+(plus a trace recorder) covering a distinct engine regime: plain-mesh
+dimension-order and turn-model routing, saturation load, hypercube
+p-cube, multilane virtual-channel configurations (dateline torus and
+o1turn), a closed preloaded workload, and a deadlocking run.  The
+committed fixture ``golden_digests.json`` holds the digest of each
+scenario's result and trace as produced by the reference engine; any
+engine change that alters behavior for identical seeds fails the digest
+comparison loudly.
+
+Regenerate fixtures (only when a behavior change is *intended*) with::
+
+    python scripts/regen_golden_digests.py
+"""
+
+from __future__ import annotations
+
+from repro.routing.registry import make_routing
+from repro.routing.virtual_channels import DatelineTorusRouting, o1turn_routing
+from repro.sim.config import SimulationConfig
+from repro.sim.deadlock import unrestricted_adaptive_routing
+from repro.sim.engine import WormholeSimulator
+from repro.sim.trace import TraceRecorder
+from repro.topology.hypercube import Hypercube
+from repro.topology.mesh import Mesh2D
+from repro.topology.torus import Torus
+from repro.topology.virtual import VirtualChannelTopology
+from repro.traffic.permutations import make_pattern
+from repro.traffic.workload import SizeDistribution, Workload
+
+__all__ = ["GOLDEN_SCENARIOS", "build_scenario"]
+
+
+def _open_sim(topology, routing_name, pattern_name, load, seed, *,
+              routing=None, sizes=None, warmup=200, measure=1200, drain=400,
+              deadlock_threshold=2_000, **engine_kwargs):
+    if routing is None:
+        routing = make_routing(routing_name, topology)
+    pattern = make_pattern(pattern_name, topology)
+    workload = Workload(
+        pattern=pattern,
+        sizes=sizes or SizeDistribution(((4, 0.5), (24, 0.5))),
+        offered_load=load,
+        seed=seed,
+    )
+    config = SimulationConfig(
+        warmup_cycles=warmup,
+        measure_cycles=measure,
+        drain_cycles=drain,
+        deadlock_threshold=deadlock_threshold,
+    )
+    trace = TraceRecorder(max_events=200_000)
+    sim = WormholeSimulator(routing, workload, config, trace=trace,
+                            **engine_kwargs)
+    return sim, trace
+
+
+def _mesh6_xy_low(**kw):
+    return _open_sim(Mesh2D(6, 6), "xy", "uniform", 0.10, seed=11, **kw)
+
+
+def _mesh6_west_first_transpose(**kw):
+    return _open_sim(Mesh2D(6, 6), "west-first", "transpose", 0.30, seed=12, **kw)
+
+
+def _mesh8_negative_first_saturated(**kw):
+    return _open_sim(Mesh2D(8, 8), "negative-first", "uniform", 0.45, seed=13,
+                     measure=1500, drain=500, **kw)
+
+
+def _cube5_pcube(**kw):
+    return _open_sim(Hypercube(5), "p-cube", "uniform", 0.12, seed=14, **kw)
+
+
+def _torus44_dateline(**kw):
+    vc = VirtualChannelTopology(Torus(4, 4), 2)
+    return _open_sim(vc, None, "uniform", 0.15, seed=15,
+                     routing=DatelineTorusRouting(vc), **kw)
+
+
+def _mesh44_o1turn(**kw):
+    vc = VirtualChannelTopology(Mesh2D(4, 4), 2)
+    return _open_sim(vc, None, "transpose", 0.20, seed=16,
+                     routing=o1turn_routing(vc), **kw)
+
+
+def _closed_preload(**kw):
+    # A zero-load run driven entirely by preloaded messages: exercises
+    # injection serialization and the idle tail after the last delivery.
+    mesh = Mesh2D(5, 5)
+    routing = make_routing("xy", mesh)
+    workload = Workload(
+        pattern=make_pattern("uniform", mesh),
+        sizes=SizeDistribution.fixed(6),
+        offered_load=0.0,
+        seed=17,
+    )
+    config = SimulationConfig(
+        warmup_cycles=0, measure_cycles=600, drain_cycles=0, max_packets=0
+    )
+    preload = [
+        ((0, 0), (4, 4), 6, 0.0),
+        ((0, 0), (2, 1), 3, 0.0),
+        ((4, 0), (0, 4), 9, 5.0),
+        ((2, 2), (3, 2), 1, 40.0),
+    ]
+    trace = TraceRecorder(max_events=200_000)
+    sim = WormholeSimulator(routing, workload, config, preload=preload,
+                            trace=trace, **kw)
+    return sim, trace
+
+
+def _figure1_deadlock(**kw):
+    # The Figure 1 circular wait: pins the deadlock watchdog's exact
+    # firing cycle and the aborted run's partial statistics.
+    mesh = Mesh2D(4, 4)
+    routing = unrestricted_adaptive_routing(mesh)
+    from repro.sim.deadlock import RoutableUniformTraffic
+
+    workload = Workload(
+        pattern=RoutableUniformTraffic(routing),
+        sizes=SizeDistribution.fixed(16),
+        offered_load=0.5,
+        seed=3,
+    )
+    config = SimulationConfig(
+        warmup_cycles=0, measure_cycles=20_000, drain_cycles=0,
+        deadlock_threshold=500,
+    )
+    trace = TraceRecorder(max_events=200_000)
+    sim = WormholeSimulator(routing, workload, config, trace=trace, **kw)
+    return sim, trace
+
+
+#: name -> builder(**engine_kwargs) -> (simulator, trace)
+GOLDEN_SCENARIOS = {
+    "mesh6-xy-uniform-low": _mesh6_xy_low,
+    "mesh6-west-first-transpose": _mesh6_west_first_transpose,
+    "mesh8-negative-first-saturated": _mesh8_negative_first_saturated,
+    "cube5-pcube-uniform": _cube5_pcube,
+    "torus44-dateline-vc": _torus44_dateline,
+    "mesh44-o1turn-vc": _mesh44_o1turn,
+    "mesh5-closed-preload": _closed_preload,
+    "mesh4-figure1-deadlock": _figure1_deadlock,
+}
+
+
+def build_scenario(name: str, **engine_kwargs):
+    """Build one named scenario; returns ``(simulator, trace)``."""
+    return GOLDEN_SCENARIOS[name](**engine_kwargs)

@@ -1,0 +1,102 @@
+"""Deadlock watchdog under virtual-channel (multilane) configurations.
+
+The engine runs a different movement path when lanes share physical
+bandwidth (the stall-skipping optimization is off and lane arbitration
+rotates), so the watchdog deserves its own coverage there: an unsafe
+algorithm mapped onto every lane still deadlocks — virtual channels by
+themselves repair nothing — while the lane-disciplined algorithms
+(o1turn's xy/yx split on meshes, dateline ordering on tori) survive the
+same pressure.
+"""
+
+import pytest
+
+from repro.routing import LaneSplitRouting, DatelineTorusRouting, o1turn_routing
+from repro.sim import SimulationConfig, WormholeSimulator
+from repro.sim.deadlock import unrestricted_adaptive_routing
+from repro.topology import Mesh2D, Torus, VirtualChannelTopology
+from repro.traffic import UniformTraffic, Workload
+from repro.traffic.workload import SizeDistribution
+
+
+def _pressure_sim(routing, *, cycles=20_000, threshold=500, load=0.5,
+                  flits=16, seed=3):
+    """Heavy random traffic, long packets — the Figure 1 demo recipe."""
+    workload = Workload(
+        pattern=UniformTraffic(routing.topology),
+        sizes=SizeDistribution.fixed(flits),
+        offered_load=load,
+        seed=seed,
+    )
+    config = SimulationConfig(
+        warmup_cycles=0, measure_cycles=cycles, drain_cycles=0,
+        deadlock_threshold=threshold,
+    )
+    return WormholeSimulator(routing, workload, config)
+
+
+def _unsafe_lanes(lanes=2, side=4):
+    """Unrestricted adaptive routing with all packets forced onto lane 0.
+
+    The Figure 1 circular wait forms inside one lane; pinning the lane
+    choice reproduces it exactly while the engine still runs its
+    multilane movement path (the topology has two lanes, so physical
+    bandwidth arbitration and processing-order rotation are active).
+    """
+    vc = VirtualChannelTopology(Mesh2D(side, side), lanes)
+    return LaneSplitRouting(
+        vc,
+        [unrestricted_adaptive_routing] * lanes,
+        chooser=lambda src, dest: 0,
+        name="unsafe-lane0",
+    )
+
+
+class TestMultilaneDeadlock:
+    def test_unsafe_routing_on_a_lane_still_deadlocks(self):
+        sim = _pressure_sim(_unsafe_lanes())
+        result = sim.run()
+        assert result.deadlocked
+
+    def test_watchdog_waits_for_the_configured_threshold(self):
+        short = _pressure_sim(_unsafe_lanes(), threshold=500)
+        long = _pressure_sim(_unsafe_lanes(), threshold=700)
+        assert short.run().deadlocked
+        assert long.run().deadlocked
+        # Deadlock is declared only after `threshold` progress-free
+        # cycles: the clock must have advanced at least that far, and a
+        # larger threshold postpones the declaration by the difference.
+        assert short.cycle >= 500
+        assert long.cycle == short.cycle + 200
+
+    def test_o1turn_survives_the_same_pressure(self):
+        vc = VirtualChannelTopology(Mesh2D(4, 4), 2)
+        sim = _pressure_sim(o1turn_routing(vc))
+        result = sim.run()
+        assert not result.deadlocked
+        assert result.total_delivered > 100
+
+    def test_dateline_survives_on_a_torus(self):
+        vc = VirtualChannelTopology(Torus(4, 4), 2)
+        sim = _pressure_sim(DatelineTorusRouting(vc))
+        result = sim.run()
+        assert not result.deadlocked
+        assert result.total_delivered > 100
+
+
+class TestMultilaneWatchdogIdle:
+    def test_idle_vc_network_never_trips_the_detector(self):
+        vc = VirtualChannelTopology(Mesh2D(4, 4), 2)
+        routing = o1turn_routing(vc)
+        workload = Workload(
+            pattern=UniformTraffic(vc),
+            sizes=SizeDistribution.fixed(4),
+            offered_load=0.0,
+        )
+        config = SimulationConfig(
+            warmup_cycles=0, measure_cycles=2_000, drain_cycles=0,
+            deadlock_threshold=10, max_packets=0,
+        )
+        result = WormholeSimulator(routing, workload, config).run()
+        assert not result.deadlocked
+        assert result.total_delivered == 0

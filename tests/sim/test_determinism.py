@@ -1,0 +1,79 @@
+"""Golden-digest determinism tests: the engine's bit-identity contract.
+
+Every scenario in :mod:`tests.sim.golden_scenarios` is run and its
+:class:`~repro.sim.stats.SimulationResult` and trace event sequence are
+hashed with the canonical serialization of :mod:`repro.sim.digest`; the
+digests must match the committed fixtures byte for byte.  Any engine
+optimization that changes *any* observable of *any* seeded run — a
+low-order float bit of an average, a reordered trace event, a shifted
+deadlock cycle — fails here loudly.
+
+If a behavior change is intended, regenerate the fixtures with
+``python scripts/regen_golden_digests.py`` and justify the change in the
+commit message.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.digest import result_digest, run_digest, trace_digest
+
+from tests.sim.golden_scenarios import GOLDEN_SCENARIOS, build_scenario
+
+FIXTURE = Path(__file__).parent / "golden_digests.json"
+
+
+@pytest.fixture(scope="module")
+def fixtures():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Run every golden scenario once; share the outcomes across tests."""
+    outcomes = {}
+    for name in GOLDEN_SCENARIOS:
+        sim, trace = build_scenario(name)
+        result = sim.run()
+        outcomes[name] = (sim, trace, result)
+    return outcomes
+
+
+class TestGoldenDigests:
+    def test_fixture_covers_every_scenario(self, fixtures):
+        assert sorted(fixtures) == sorted(GOLDEN_SCENARIOS)
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+    def test_result_digest(self, name, fixtures, runs):
+        _, _, result = runs[name]
+        assert result_digest(result) == fixtures[name]["result"]
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+    def test_trace_digest(self, name, fixtures, runs):
+        _, trace, _ = runs[name]
+        assert len(trace.events) == fixtures[name]["trace_events"]
+        assert trace_digest(trace) == fixtures[name]["trace"]
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+    def test_joint_run_digest(self, name, fixtures, runs):
+        _, trace, result = runs[name]
+        assert run_digest(result, trace) == fixtures[name]["run"]
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+    def test_headline_outcomes(self, name, fixtures, runs):
+        # Redundant with the digests, but failures read much better.
+        _, _, result = runs[name]
+        assert result.total_delivered == fixtures[name]["total_delivered"]
+        assert result.deadlocked == fixtures[name]["deadlocked"]
+
+
+class TestRunToRunDeterminism:
+    def test_rebuilt_scenario_reproduces_itself(self):
+        name = "mesh6-west-first-transpose"
+        first_sim, first_trace = build_scenario(name)
+        first = first_sim.run()
+        second_sim, second_trace = build_scenario(name)
+        second = second_sim.run()
+        assert run_digest(first, first_trace) == run_digest(second, second_trace)
