@@ -441,6 +441,14 @@ class SweepExecutor:
         cache_dir: directory for the on-disk result cache; ``None``
             disables caching.
         hooks: progress callbacks; defaults to silent.
+        require_certification: statically certify every unique
+            ``(topology, routing)`` pair before launching its points —
+            deadlock freedom, connectivity, and livelock freedom per
+            :mod:`repro.verify` — and refuse the run (raising
+            :class:`repro.verify.CertificationError` with the refuting
+            witness) if any pair fails.  A refuted algorithm would wedge
+            or wander the simulator anyway; the gate converts hours of
+            wasted sweep into an immediate, explained failure.
 
     Results are identical for any ``jobs`` value: each point is fully
     determined by its spec.  The executor only changes where and when
@@ -452,6 +460,7 @@ class SweepExecutor:
         jobs: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
         hooks: Optional[ExecutorHooks] = None,
+        require_certification: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -459,11 +468,45 @@ class SweepExecutor:
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.hooks = hooks if hooks is not None else ExecutorHooks()
         self.last_metrics: Optional[ExecutorMetrics] = None
+        self.require_certification = require_certification
+        self._certified: set = set()
+
+    # -- certification gate -------------------------------------------
+
+    def _certify_points(self, points: Sequence[PointSpec]) -> None:
+        """Certify each unique ``(topology, routing)`` pair once.
+
+        No-op unless ``require_certification`` is set.  Certified pairs
+        are remembered for the executor's lifetime, so sweeps over many
+        loads pay the (sub-second) static check once per algorithm.
+
+        Raises:
+            repro.verify.CertificationError: when a pair fails any
+                static check; the message carries the witnesses.
+        """
+        if not self.require_certification:
+            return
+        from repro.verify import certify
+
+        for point in points:
+            key = (point.spec.topology, point.spec.routing)
+            if key in self._certified:
+                continue
+            topology = parse_topology(point.spec.topology)
+            routing = make_routing(point.spec.routing, topology)
+            certify(topology, routing, topology_label=point.spec.topology)
+            self._certified.add(key)
 
     # -- core ---------------------------------------------------------
 
     def run_points(self, points: Sequence[PointSpec]) -> List[PointOutcome]:
-        """Run every point and return outcomes in input order."""
+        """Run every point and return outcomes in input order.
+
+        With ``require_certification`` set, every unique
+        ``(topology, routing)`` pair is statically certified before any
+        point runs.
+        """
+        self._certify_points(points)
         started = time.perf_counter()
         metrics = ExecutorMetrics(points_total=len(points))
         self.hooks.on_run_start(len(points))
@@ -625,6 +668,7 @@ class SweepExecutor:
             # Lazy serial path: stop dispatching once saturated, so the
             # points past the cut are never simulated (exactly the old
             # serial loop's cost profile).
+            self._certify_points(points)
             started = time.perf_counter()
             metrics = ExecutorMetrics(points_total=len(points))
             self.hooks.on_run_start(len(points))

@@ -9,6 +9,7 @@ Subcommands::
     turnmodel sweep --topology mesh:16x16 --algorithm xy negative-first \\
               --pattern transpose --jobs 4 --cache-dir .sweep-cache
     turnmodel deadlock --figure 1       # watch an unsafe algorithm deadlock
+    turnmodel verify --all              # statically certify every algorithm
     turnmodel bench --quick             # engine cycles/sec benchmark
     turnmodel list                      # available algorithms and patterns
 
@@ -123,7 +124,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     hooks = ProgressPrinter() if args.progress else None
     executor = SweepExecutor(
-        jobs=args.jobs, cache_dir=args.cache_dir, hooks=hooks
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        hooks=hooks,
+        require_certification=args.certify,
     )
     series_list = []
     for algorithm in args.algorithm:
@@ -164,6 +168,55 @@ def _cmd_deadlock(args: argparse.Namespace) -> int:
         name = "the Figure 4 faulty prohibition"
     verdict = "DEADLOCKED" if result.deadlocked else "completed (unexpected!)"
     print(f"{name}: {verdict} after delivering {result.total_delivered} packets")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.routing.registry import canonical_name
+    from repro.verify import default_targets, verify_all
+
+    if args.all or (not args.topology and not args.algorithm):
+        targets = default_targets()
+    else:
+        algorithms = (
+            [canonical_name(name) for name in args.algorithm]
+            if args.algorithm
+            else None
+        )
+        targets = default_targets(
+            topologies=args.topology or None, algorithms=algorithms
+        )
+        if not targets:
+            print(
+                "no targets match the given --topology/--algorithm filters",
+                file=sys.stderr,
+            )
+            return 2
+    report = verify_all(targets)
+    print(report.render())
+    for target in report.targets:
+        for check in target.refutations():
+            rendered = (
+                check.certificate.data.get("rendered")
+                if check.certificate is not None
+                else None
+            )
+            if rendered:
+                print(f"\n{target.target} — {check.check} witness:")
+                print(rendered)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+        print(f"[saved to {args.out}]")
+    if not report.ok:
+        for target in report.unexpected():
+            print(
+                f"UNEXPECTED: {target.target} is {target.verdict}, "
+                f"expected {target.expect}",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -284,6 +337,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--progress", action="store_true", help="narrate per-point progress"
     )
+    p_sweep.add_argument(
+        "--certify",
+        action="store_true",
+        help="statically certify each algorithm (deadlock/livelock free, "
+        "connected) before launching the sweep",
+    )
     p_sweep.add_argument("--out", default=None, help="archive the run as JSON")
     p_sweep.set_defaults(func=_cmd_sweep)
 
@@ -302,6 +361,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_dead = sub.add_parser("deadlock", help="demonstrate a deadlock")
     p_dead.add_argument("--figure", type=int, default=1, choices=[1, 4])
     p_dead.set_defaults(func=_cmd_deadlock)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="statically certify algorithms deadlock/livelock free and connected",
+    )
+    p_verify.add_argument(
+        "--all",
+        action="store_true",
+        help="full sweep: registry x topologies, faulted mesh, virtual "
+        "channels, and the Figure 1/4 negative controls (the default "
+        "when no filter is given)",
+    )
+    p_verify.add_argument(
+        "--topology",
+        nargs="+",
+        default=None,
+        help="restrict to these topology specs (e.g. mesh:5x4 cube:4)",
+    )
+    p_verify.add_argument(
+        "--algorithm",
+        nargs="+",
+        default=None,
+        help="restrict to these registry algorithm names",
+    )
+    p_verify.add_argument(
+        "--out", default=None, help="write the full JSON report (certificates included)"
+    )
+    p_verify.set_defaults(func=_cmd_verify)
 
     p_bench = sub.add_parser(
         "bench", help="engine speed benchmark (cycles/sec, flit-moves/sec)"

@@ -39,6 +39,7 @@ _LAZY = {
     "turn_cdg": "channel_graph",
     "routing_cdg": "channel_graph",
     "find_dependency_cycle": "channel_graph",
+    "CycleWitness": "channel_graph",
     "is_deadlock_free": "channel_graph",
     "restriction_is_deadlock_free": "channel_graph",
     "RouteFn": "channel_graph",
@@ -50,7 +51,9 @@ _LAZY = {
     "north_last_numbering": "numbering",
     "negative_first_numbering": "numbering",
     "certifies": "numbering",
+    "numbering_violations": "numbering",
     "potential_numbering": "numbering",
+    "topological_numbering": "numbering",
     "multinomial": "adaptiveness",
     "s_fully_adaptive": "adaptiveness",
     "s_west_first": "adaptiveness",
@@ -99,5 +102,36 @@ __all__ = [
     "abonf_restriction",
     "abopl_restriction",
     "Digraph",
-    *sorted(_LAZY),
+    "CycleWitness",
+    "RouteFn",
+    "TurnModel",
+    "apply_symmetry",
+    "average_adaptiveness_ratio",
+    "certifies",
+    "count_shortest_paths",
+    "find_dependency_cycle",
+    "is_deadlock_free",
+    "mesh_symmetries_2d",
+    "multinomial",
+    "negative_first_numbering",
+    "north_last_numbering",
+    "numbering_violations",
+    "pcube_adaptiveness_ratio",
+    "potential_numbering",
+    "restriction_is_deadlock_free",
+    "routing_cdg",
+    "s_abonf",
+    "s_abopl",
+    "s_ecube",
+    "s_fully_adaptive",
+    "s_negative_first",
+    "s_north_last",
+    "s_pcube",
+    "s_west_first",
+    "symmetry_classes",
+    "topological_numbering",
+    "turn_cdg",
+    "west_first_numbering",
 ]
+
+assert set(__all__) >= set(_LAZY), "lazy re-exports missing from __all__"

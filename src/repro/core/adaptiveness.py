@@ -28,6 +28,7 @@ __all__ = [
     "s_abopl",
     "s_pcube",
     "s_ecube",
+    "pcube_adaptiveness_ratio",
     "count_shortest_paths",
     "average_adaptiveness_ratio",
 ]

@@ -26,15 +26,18 @@ Two builders are provided:
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union, overload
 
 from repro.core.digraph import Digraph
 from repro.core.restrictions import TurnRestriction
+from repro.core.turns import Turn
 from repro.topology.base import Topology
 from repro.topology.channels import Channel, NodeId
 
 __all__ = [
     "RouteFn",
+    "CycleWitness",
     "turn_cdg",
     "routing_cdg",
     "find_dependency_cycle",
@@ -47,8 +50,109 @@ __all__ = [
 #: destination, return the output channels the algorithm permits.
 RouteFn = Callable[[Optional[Channel], NodeId, NodeId], Iterable[Channel]]
 
+#: One dependency edge of the exact channel dependency graph.
+_Edge = Tuple[Channel, Channel]
 
-def turn_cdg(topology: Topology, restriction: TurnRestriction) -> Digraph:
+
+@dataclass(frozen=True)
+class CycleWitness:
+    """A realizable dependency cycle, rendered as channels and turns.
+
+    Refuting deadlock freedom needs more than "the graph has a cycle": a
+    human (or a certificate checker) wants the channel sequence, the turn
+    each hop takes, and for each dependency an example destination whose
+    packets realize it.  The witness behaves like the plain channel list
+    :func:`find_dependency_cycle` used to return (``len``, indexing,
+    slicing, and iteration all see the channels), so existing callers
+    keep working, while the verifier renders the full certificate.
+
+    Attributes:
+        channels: the channels of the cycle, in order; the cycle closes
+            from the last channel back to the first.
+        turns: ``turns[i]`` is the turn from ``channels[i]`` into
+            ``channels[(i + 1) % len]`` (``None`` for a 0-degree straight
+            continuation, which the paper does not count as a turn).
+        dests: ``dests[i]`` is a destination for which a packet holding
+            ``channels[i]`` may request ``channels[(i + 1) % len]``, when
+            the builder recorded one (``None`` for turn-level witnesses,
+            which over-approximate every destination at once).
+    """
+
+    channels: Tuple[Channel, ...]
+    turns: Tuple[Optional[Turn], ...]
+    dests: Tuple[Optional[NodeId], ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.channels) == len(self.turns) == len(self.dests)):
+            raise ValueError("witness fields must be parallel sequences")
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    def __iter__(self) -> Iterator[Channel]:
+        return iter(self.channels)
+
+    @overload
+    def __getitem__(self, index: int) -> Channel: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> List[Channel]: ...
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[Channel, List[Channel]]:
+        if isinstance(index, slice):
+            return list(self.channels[index])
+        return self.channels[index]
+
+    def turn_names(self) -> List[str]:
+        """The cycle's turns as compass strings (``"straight"`` for none)."""
+        return [str(turn) if turn is not None else "straight" for turn in self.turns]
+
+    def render(self) -> str:
+        """A multi-line, human-readable account of the circular wait."""
+        lines = [f"dependency cycle of {len(self.channels)} channels:"]
+        count = len(self.channels)
+        for i, channel in enumerate(self.channels):
+            turn = self.turns[i]
+            dest = self.dests[i]
+            step = str(turn) if turn is not None else "straight"
+            realized = f"  [packet bound for {dest}]" if dest is not None else ""
+            nxt = self.channels[(i + 1) % count]
+            lines.append(f"  {channel}  --{step}-->  {nxt}{realized}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    @classmethod
+    def from_channels(
+        cls,
+        channels: Iterable[Channel],
+        edge_dests: Optional[Dict[_Edge, NodeId]] = None,
+    ) -> "CycleWitness":
+        """Build a witness from a channel cycle, deriving the turns.
+
+        Args:
+            channels: the cycle's channels in order (first not repeated).
+            edge_dests: optional map from dependency edge to an example
+                destination realizing it, as collected by
+                :func:`routing_cdg`.
+        """
+        chans = tuple(channels)
+        turns: List[Optional[Turn]] = []
+        dests: List[Optional[NodeId]] = []
+        for i, channel in enumerate(chans):
+            nxt = chans[(i + 1) % len(chans)]
+            if channel.direction == nxt.direction:
+                turns.append(None)
+            else:
+                turns.append(Turn(channel.direction, nxt.direction))
+            dests.append(
+                edge_dests.get((channel, nxt)) if edge_dests is not None else None
+            )
+        return cls(chans, tuple(turns), tuple(dests))
+
+
+def turn_cdg(topology: Topology, restriction: TurnRestriction) -> Digraph[Channel]:
     """Dependency graph induced by a turn restriction alone.
 
     An edge joins channel ``a`` to channel ``b`` whenever ``b`` leaves the
@@ -56,7 +160,7 @@ def turn_cdg(topology: Topology, restriction: TurnRestriction) -> Digraph:
     ``a``'s direction to ``b``'s direction (straight continuations and
     permitted reversals included).
     """
-    graph = Digraph()
+    graph: Digraph[Channel] = Digraph()
     for channel in topology.channels():
         graph.add_vertex(channel)
     for in_channel in topology.channels():
@@ -66,15 +170,27 @@ def turn_cdg(topology: Topology, restriction: TurnRestriction) -> Digraph:
     return graph
 
 
-def routing_cdg(topology: Topology, route_fn: RouteFn) -> Digraph:
+def routing_cdg(
+    topology: Topology,
+    route_fn: RouteFn,
+    edge_dests: Optional[Dict[_Edge, NodeId]] = None,
+) -> Digraph[Channel]:
     """Exact dependency graph of a routing relation.
 
     Only realizable dependencies are included: for each destination, the
     set of channels a packet bound for that destination can actually hold
     is computed by forward closure from every source, and edges are added
     along the way.
+
+    Args:
+        topology: the network.
+        route_fn: the routing relation.
+        edge_dests: when given, filled with one example destination per
+            dependency edge (the first destination whose closure added
+            it), so cycle witnesses can show which packets realize each
+            dependency.
     """
-    graph = Digraph()
+    graph: Digraph[Channel] = Digraph()
     for channel in topology.channels():
         graph.add_vertex(channel)
     for dest in topology.nodes():
@@ -94,6 +210,8 @@ def routing_cdg(topology: Topology, route_fn: RouteFn) -> Digraph:
                 continue
             for out_channel in route_fn(in_channel, node, dest):
                 graph.add_edge(in_channel, out_channel)
+                if edge_dests is not None:
+                    edge_dests.setdefault((in_channel, out_channel), dest)
                 if out_channel not in reached:
                     reached.add(out_channel)
                     frontier.append(out_channel)
@@ -102,9 +220,22 @@ def routing_cdg(topology: Topology, route_fn: RouteFn) -> Digraph:
 
 def find_dependency_cycle(
     topology: Topology, route_fn: RouteFn
-) -> Optional[List[Channel]]:
-    """A cycle in the routing relation's dependency graph, or ``None``."""
-    return routing_cdg(topology, route_fn).find_cycle()
+) -> Optional[CycleWitness]:
+    """A realizable dependency cycle of the routing relation, or ``None``.
+
+    The witness is a *shortest* cycle of the exact channel dependency
+    graph, annotated with the turns taken and an example destination per
+    dependency — on the Figure 1 fixture it renders as the paper's
+    four-channel circular wait.  It still behaves as the plain channel
+    list earlier revisions returned (iteration, ``len``, indexing).
+    """
+    edge_dests: Dict[_Edge, NodeId] = {}
+    graph = routing_cdg(topology, route_fn, edge_dests=edge_dests)
+    if graph.is_acyclic():
+        return None
+    cycle = graph.shortest_cycle()
+    assert cycle is not None  # is_acyclic() said otherwise
+    return CycleWitness.from_channels(cycle, edge_dests)
 
 
 def is_deadlock_free(topology: Topology, route_fn: RouteFn) -> bool:

@@ -14,11 +14,12 @@ Theorem 2 proof (Figures 6 and 7).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Callable, Dict, List, Mapping, Tuple
 
 from repro.core.channel_graph import RouteFn, routing_cdg
+from repro.core.digraph import Digraph
 from repro.topology.base import Topology
-from repro.topology.channels import Channel
+from repro.topology.channels import Channel, NodeId
 from repro.topology.mesh import Mesh2D
 
 __all__ = [
@@ -26,7 +27,9 @@ __all__ = [
     "north_last_numbering",
     "negative_first_numbering",
     "potential_numbering",
+    "topological_numbering",
     "certifies",
+    "numbering_violations",
 ]
 
 #: A channel numbering: channel -> integer.
@@ -157,6 +160,30 @@ def potential_numbering(topology: Topology, potential) -> Dict[Channel, int]:
     return numbers
 
 
+def topological_numbering(graph: Digraph) -> Dict[Channel, int]:
+    """Number the channels of an acyclic dependency graph topologically.
+
+    Dally and Seitz's theorem runs both ways: an acyclic channel
+    dependency graph always *admits* a numbering under which every
+    routing step strictly increases — any topological order is one.
+    This is the generic certificate constructor the verifier falls back
+    on when no closed-form Theorem 2-5 numbering applies (torus, hex,
+    oct, and virtual-channel algorithms).
+
+    Args:
+        graph: an acyclic channel dependency graph whose vertices are
+            channels.
+
+    Returns:
+        A channel numbering under which every edge strictly increases.
+
+    Raises:
+        ValueError: if the graph has a cycle (no such numbering exists).
+    """
+    order = graph.topological_order()
+    return {channel: position for position, channel in enumerate(order)}
+
+
 def certifies(
     topology: Topology,
     route_fn: RouteFn,
@@ -178,14 +205,42 @@ def certifies(
     Returns:
         True if every dependency is strictly monotone in the given order.
     """
+    return not numbering_violations(topology, route_fn, numbering, order)
+
+
+def numbering_violations(
+    topology: Topology,
+    route_fn: RouteFn,
+    numbering: Numbering,
+    order: str = "decreasing",
+) -> List[Tuple[Channel, Channel]]:
+    """The realizable routing steps that break a numbering's monotonicity.
+
+    The constructive counterpart of :func:`certifies`: instead of a bare
+    boolean, returns every edge of the exact channel dependency graph that
+    fails to move strictly in the given order — empty exactly when the
+    numbering certifies the relation.  The verifier uses this both to
+    validate closed-form numberings before embedding them in certificates
+    and to report *which* dependencies a broken numbering misses.
+
+    Args:
+        topology: the network.
+        route_fn: the routing relation.
+        numbering: channel numbers.
+        order: ``"decreasing"`` or ``"increasing"``.
+
+    Returns:
+        The violating ``(holding channel, requested channel)`` pairs.
+    """
     if order not in ("decreasing", "increasing"):
         raise ValueError(f"order must be 'decreasing' or 'increasing': {order!r}")
     graph = routing_cdg(topology, route_fn)
+    violations: List[Tuple[Channel, Channel]] = []
     for in_channel, out_channel in graph.edges():
         before = numbering[in_channel]
         after = numbering[out_channel]
         if order == "decreasing" and not after < before:
-            return False
+            violations.append((in_channel, out_channel))
         if order == "increasing" and not after > before:
-            return False
-    return True
+            violations.append((in_channel, out_channel))
+    return violations

@@ -28,6 +28,7 @@ __all__ = [
     "negative_first_restriction",
     "abonf_restriction",
     "abopl_restriction",
+    "figure4_restriction",
 ]
 
 

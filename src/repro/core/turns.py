@@ -22,6 +22,8 @@ __all__ = [
     "all_turns",
     "ninety_degree_turns",
     "abstract_cycles",
+    "minimum_prohibited_turns",
+    "turns_partition_check",
     "plane_cycles",
     "LEFT_CYCLE",
     "RIGHT_CYCLE",

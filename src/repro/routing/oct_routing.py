@@ -32,6 +32,7 @@ class OctNegativeFirstRouting(RoutingAlgorithm):
 
     name = "oct-negative-first"
     minimal = True
+    uses_in_channel = True  # positive arrival forbids further descent
 
     def __init__(self, topology: OctMesh):
         if not isinstance(topology, OctMesh):
@@ -76,6 +77,7 @@ class OctDimensionOrderRouting(RoutingAlgorithm):
 
     name = "oct-ab-order"
     minimal = False  # minimal in the Manhattan metric, not the king metric
+    uses_in_channel = False
 
     def __init__(self, topology: OctMesh):
         if not isinstance(topology, OctMesh):

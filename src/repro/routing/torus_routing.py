@@ -39,6 +39,8 @@ class FirstHopWraparoundRouting(RoutingAlgorithm):
             channels only and never offered a wraparound).
     """
 
+    uses_in_channel = True  # wraparound arrivals are re-injected into base
+
     def __init__(self, topology: Torus, base: RoutingAlgorithm):
         super().__init__(topology)
         self.base = base
@@ -81,6 +83,8 @@ class NegativeFirstTorusRouting(RoutingAlgorithm):
       east edge, so it is taken only when the destination coordinate is
       ``k - 1`` (afterwards no westward travel is permitted).
     """
+
+    uses_in_channel = True  # a positive arrival ends the negative phase
 
     def __init__(self, topology: Torus):
         super().__init__(topology)

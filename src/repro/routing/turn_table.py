@@ -114,6 +114,8 @@ class TurnRestrictionRouting(RoutingAlgorithm):
         name: optional label; defaults to the restriction's name.
     """
 
+    uses_in_channel = True  # the arrival direction selects permitted turns
+
     def __init__(
         self,
         topology: Topology,

@@ -44,6 +44,7 @@ class DatelineTorusRouting(RoutingAlgorithm):
 
     name = "dateline-dor"
     minimal = True
+    uses_in_channel = False  # lane choice derives from (node, dest) alone
 
     def __init__(self, topology: VirtualChannelTopology):
         if not isinstance(topology, VirtualChannelTopology) or not isinstance(
@@ -130,6 +131,7 @@ class LaneSplitRouting(RoutingAlgorithm):
     """
 
     minimal = True
+    uses_in_channel = True  # the arrival lane pins the packet's algorithm
 
     def __init__(
         self,

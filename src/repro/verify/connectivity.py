@@ -1,0 +1,167 @@
+"""Connectivity certification: every pair routable, no dead-end states.
+
+Deadlock freedom is worthless if the restriction disconnects the network —
+the paper's Step 4 demands prohibitions that leave every source able to
+reach every destination.  This checker proves, per destination, that
+
+* every source has at least one permitted first hop from which some
+  permitted walk delivers the packet (no unroutable pairs), and
+* no reachable routing state is a dead end — a channel whose packet the
+  algorithm leaves with no output (the base-class contract calls an empty
+  result for a reachable state a bug).
+
+Delivery is decided by reverse reachability over the per-destination
+channel graph, so it is exact even when the dependency graph is cyclic
+(where the livelock and deadlock checkers refute separately): a state
+delivers iff *some* permitted walk from it ends at the destination.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set, Tuple
+
+from repro.core.channel_graph import RouteFn
+from repro.topology.base import Topology
+from repro.topology.channels import Channel, NodeId
+from repro.verify.report import PROVED, REFUTED, Certificate, CheckResult
+
+__all__ = ["check_connectivity"]
+
+#: How many counterexamples a refutation certificate keeps.
+_SAMPLE = 20
+
+
+def _closure_for_dest(
+    topology: Topology, route_fn: RouteFn, dest: NodeId
+) -> Tuple[Set[Channel], Dict[Channel, List[Channel]], List[Channel]]:
+    """Forward closure of the routing relation toward one destination.
+
+    Returns:
+        ``(reached, outputs, dead_ends)``: every channel a packet bound
+        for ``dest`` can hold, the outputs offered from each such channel,
+        and the reached channels from which the algorithm offers nothing.
+    """
+    reached: Set[Channel] = set()
+    outputs: Dict[Channel, List[Channel]] = {}
+    dead_ends: List[Channel] = []
+    frontier: deque[Channel] = deque()
+    for source in topology.nodes():
+        if source == dest:
+            continue
+        for first in route_fn(None, source, dest):
+            if first not in reached:
+                reached.add(first)
+                frontier.append(first)
+    while frontier:
+        channel = frontier.popleft()
+        if channel.dst == dest:
+            continue
+        outs = list(route_fn(channel, channel.dst, dest))
+        outputs[channel] = outs
+        if not outs:
+            dead_ends.append(channel)
+        for out in outs:
+            if out not in reached:
+                reached.add(out)
+                frontier.append(out)
+    return reached, outputs, dead_ends
+
+
+def _delivering(
+    reached: Set[Channel],
+    outputs: Dict[Channel, List[Channel]],
+    dest: NodeId,
+) -> Set[Channel]:
+    """The reached channels from which some permitted walk ends at ``dest``.
+
+    Reverse breadth-first search from the accepting channels (those whose
+    head is the destination) over the per-destination channel graph.
+    """
+    predecessors: Dict[Channel, List[Channel]] = {}
+    for channel, outs in outputs.items():
+        for out in outs:
+            predecessors.setdefault(out, []).append(channel)
+    delivering: Set[Channel] = {ch for ch in reached if ch.dst == dest}
+    frontier: deque[Channel] = deque(delivering)
+    while frontier:
+        channel = frontier.popleft()
+        for pred in predecessors.get(channel, ()):
+            if pred not in delivering:
+                delivering.add(pred)
+                frontier.append(pred)
+    return delivering
+
+
+def check_connectivity(topology: Topology, route_fn: RouteFn) -> CheckResult:
+    """Prove or refute that the routing relation connects the network."""
+    unroutable: List[Tuple[NodeId, NodeId]] = []
+    dead_end_states: List[Tuple[Channel, NodeId]] = []
+    pairs = 0
+    states = 0
+    for dest in topology.nodes():
+        reached, outputs, dead_ends = _closure_for_dest(topology, route_fn, dest)
+        states += len(reached)
+        dead_end_states.extend((channel, dest) for channel in dead_ends)
+        delivering = _delivering(reached, outputs, dest)
+        for source in topology.nodes():
+            if source == dest:
+                continue
+            pairs += 1
+            if not any(
+                first in delivering for first in route_fn(None, source, dest)
+            ):
+                unroutable.append((source, dest))
+
+    if unroutable or dead_end_states:
+        certificate = Certificate(
+            kind="connectivity-counterexample",
+            summary=(
+                f"{len(unroutable)} unroutable pairs, "
+                f"{len(dead_end_states)} dead-end states"
+            ),
+            data={
+                "unroutable_pairs": [
+                    [list(src), list(dst)] for src, dst in unroutable[:_SAMPLE]
+                ],
+                "dead_ends": [
+                    {"channel": str(channel), "dest": list(dest)}
+                    for channel, dest in dead_end_states[:_SAMPLE]
+                ],
+                "unroutable_total": len(unroutable),
+                "dead_end_total": len(dead_end_states),
+            },
+        )
+        first_bad = (
+            f"e.g. {unroutable[0][0]} cannot reach {unroutable[0][1]}"
+            if unroutable
+            else f"e.g. packet on {dead_end_states[0][0]} bound for "
+            f"{dead_end_states[0][1]} has no output"
+        )
+        return CheckResult(
+            check="connectivity",
+            verdict=REFUTED,
+            detail=(
+                f"{len(unroutable)} of {pairs} pairs unroutable, "
+                f"{len(dead_end_states)} reachable dead-end states; {first_bad}"
+            ),
+            certificate=certificate,
+        )
+
+    certificate = Certificate(
+        kind="reachable-states",
+        summary=(
+            f"all {pairs} ordered pairs routable; "
+            f"{states} reachable routing states, none a dead end"
+        ),
+        data={"pairs": pairs, "states": states, "dead_ends": 0},
+    )
+    return CheckResult(
+        check="connectivity",
+        verdict=PROVED,
+        detail=(
+            f"all {pairs} ordered (src, dst) pairs deliver; every one of "
+            f"{states} reachable routing states offers an output"
+        ),
+        certificate=certificate,
+    )

@@ -1,0 +1,277 @@
+"""Verification reports and machine-checkable certificates.
+
+The static certification suite phrases every claim it proves or refutes
+as a :class:`CheckResult` carrying a :class:`Certificate`: a JSON-ready
+record with enough data for an independent checker to re-establish the
+verdict without re-running the prover.  A deadlock-freedom certificate,
+for example, carries the full channel numbering; re-checking it is a
+single monotonicity pass over the dependency graph
+(:func:`repro.verify.deadlock.recheck_numbering_certificate`).
+
+A :class:`TargetReport` aggregates the checks for one
+``(topology, routing algorithm)`` pair, and a :class:`VerificationReport`
+aggregates the targets of a sweep.  Both serialize losslessly to JSON
+(``to_dict`` / ``from_dict``), which is what ``repro verify --out``
+writes and CI archives as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "PROVED",
+    "REFUTED",
+    "SKIPPED",
+    "Certificate",
+    "CheckResult",
+    "TargetReport",
+    "VerificationReport",
+]
+
+#: Verdict: the property holds, with a certificate proving it.
+PROVED = "proved"
+#: Verdict: the property fails, with a witness refuting it.
+REFUTED = "refuted"
+#: Verdict: the check does not apply to this target (no closed form, say).
+SKIPPED = "skipped"
+
+_VERDICTS = (PROVED, REFUTED, SKIPPED)
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A machine-checkable artifact backing a verdict.
+
+    Attributes:
+        kind: what the data proves or refutes — ``"channel-numbering"``,
+            ``"dependency-cycle"``, ``"reachable-states"``,
+            ``"longest-path"``, ``"adaptiveness-table"``, or
+            ``"turn-audit"``.
+        summary: one human-readable line.
+        data: the JSON-ready payload an independent checker consumes.
+    """
+
+    kind: str
+    summary: str
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict; inverse of :meth:`from_dict`."""
+        return {"kind": self.kind, "summary": self.summary, "data": dict(self.data)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Certificate":
+        """Rebuild a certificate saved by :meth:`to_dict`."""
+        return cls(
+            kind=str(payload["kind"]),
+            summary=str(payload["summary"]),
+            data=dict(payload.get("data", {})),
+        )
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """The outcome of one static checker on one target.
+
+    Attributes:
+        check: checker name — ``"deadlock-freedom"``, ``"connectivity"``,
+            ``"livelock-freedom"``, ``"adaptiveness"``, or
+            ``"turn-minimum"``.
+        verdict: :data:`PROVED`, :data:`REFUTED`, or :data:`SKIPPED`.
+        detail: one-line explanation of the verdict.
+        certificate: the backing artifact; ``None`` for skipped checks.
+    """
+
+    check: str
+    verdict: str
+    detail: str = ""
+    certificate: Optional[Certificate] = None
+
+    def __post_init__(self) -> None:
+        if self.verdict not in _VERDICTS:
+            raise ValueError(
+                f"verdict must be one of {_VERDICTS}, got {self.verdict!r}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        """Whether the check did not refute its property."""
+        return self.verdict != REFUTED
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict; inverse of :meth:`from_dict`."""
+        payload: Dict[str, Any] = {
+            "check": self.check,
+            "verdict": self.verdict,
+            "detail": self.detail,
+        }
+        if self.certificate is not None:
+            payload["certificate"] = self.certificate.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CheckResult":
+        """Rebuild a result saved by :meth:`to_dict`."""
+        certificate = payload.get("certificate")
+        return cls(
+            check=str(payload["check"]),
+            verdict=str(payload["verdict"]),
+            detail=str(payload.get("detail", "")),
+            certificate=(
+                Certificate.from_dict(certificate) if certificate else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class TargetReport:
+    """Every check's outcome for one ``(topology, routing)`` pair.
+
+    Attributes:
+        target: unique label, e.g. ``"mesh:5x4/west-first"``.
+        topology: topology label (a spec string when one exists; faulted
+            and virtual-channel targets use descriptive labels).
+        routing: routing algorithm name.
+        expect: ``"certified"`` for production algorithms or
+            ``"refuted"`` for the negative-control fixtures, whose whole
+            point is to be rejected.
+        checks: the individual checker outcomes.
+    """
+
+    target: str
+    topology: str
+    routing: str
+    expect: str = "certified"
+    checks: Tuple[CheckResult, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.expect not in ("certified", "refuted"):
+            raise ValueError(f"expect must be certified|refuted: {self.expect!r}")
+
+    @property
+    def certified(self) -> bool:
+        """Whether no check refuted its property."""
+        return all(check.ok for check in self.checks)
+
+    @property
+    def as_expected(self) -> bool:
+        """Whether the verdict matches what the suite expects.
+
+        A production algorithm must certify; a negative-control fixture
+        must be refuted (a fixture that silently passes means the
+        checkers have lost their teeth).
+        """
+        return self.certified == (self.expect == "certified")
+
+    @property
+    def verdict(self) -> str:
+        """``"certified"`` or ``"refuted"``, as established."""
+        return "certified" if self.certified else "refuted"
+
+    def refutations(self) -> List[CheckResult]:
+        """The checks that refuted their property."""
+        return [check for check in self.checks if not check.ok]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict; inverse of :meth:`from_dict`."""
+        return {
+            "target": self.target,
+            "topology": self.topology,
+            "routing": self.routing,
+            "expect": self.expect,
+            "verdict": self.verdict,
+            "as_expected": self.as_expected,
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TargetReport":
+        """Rebuild a report saved by :meth:`to_dict`."""
+        return cls(
+            target=str(payload["target"]),
+            topology=str(payload["topology"]),
+            routing=str(payload["routing"]),
+            expect=str(payload.get("expect", "certified")),
+            checks=tuple(
+                CheckResult.from_dict(check) for check in payload.get("checks", ())
+            ),
+        )
+
+    def render(self) -> str:
+        """A compact multi-line text account of this target."""
+        mark = "ok" if self.as_expected else "UNEXPECTED"
+        lines = [f"{self.target}: {self.verdict} (expected {self.expect}) [{mark}]"]
+        for check in self.checks:
+            lines.append(f"  {check.check:18s} {check.verdict:8s} {check.detail}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """The outcome of one certification sweep.
+
+    Attributes:
+        targets: one report per ``(topology, routing)`` pair verified.
+    """
+
+    targets: Tuple[TargetReport, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether every target matched its expected verdict."""
+        return all(target.as_expected for target in self.targets)
+
+    @property
+    def certified_count(self) -> int:
+        """Number of targets established as certified."""
+        return sum(1 for target in self.targets if target.certified)
+
+    @property
+    def refuted_count(self) -> int:
+        """Number of targets established as refuted."""
+        return sum(1 for target in self.targets if not target.certified)
+
+    def unexpected(self) -> List[TargetReport]:
+        """The targets whose verdict differs from the expectation."""
+        return [target for target in self.targets if not target.as_expected]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict; inverse of :meth:`from_dict`."""
+        return {
+            "ok": self.ok,
+            "certified": self.certified_count,
+            "refuted": self.refuted_count,
+            "targets": [target.to_dict() for target in self.targets],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "VerificationReport":
+        """Rebuild a report saved by :meth:`to_dict`."""
+        return cls(
+            targets=tuple(
+                TargetReport.from_dict(target)
+                for target in payload.get("targets", ())
+            )
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize the full report (certificates included) to JSON."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "VerificationReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def render(self) -> str:
+        """A text summary: one block per target, then totals."""
+        lines = [target.render() for target in self.targets]
+        lines.append(
+            f"{len(self.targets)} targets: {self.certified_count} certified, "
+            f"{self.refuted_count} refuted"
+            + ("" if self.ok else " — UNEXPECTED VERDICTS PRESENT")
+        )
+        return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""The ``repro verify`` subcommand: exit codes, output, JSON artifact."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestVerifyCommand:
+    def test_filtered_run_exits_zero(self, capsys):
+        code = main(
+            [
+                "verify",
+                "--topology",
+                "mesh:5x4",
+                "--algorithm",
+                "west-first",
+                "north-last",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mesh:5x4/west-first" in out
+        assert "certified" in out
+
+    def test_underscores_canonicalized_in_algorithm_filter(self, capsys):
+        code = main(
+            ["verify", "--topology", "mesh:4x4", "--algorithm", "west_first"]
+        )
+        assert code == 0
+        assert "west-first" in capsys.readouterr().out
+
+    def test_empty_filter_match_exits_two(self, capsys):
+        code = main(
+            ["verify", "--topology", "mesh:4x4", "--algorithm", "hex-negative-first"]
+        )
+        assert code == 2
+
+    def test_all_sweep_writes_report_and_prints_witnesses(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        code = main(["verify", "--all", "--out", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        # The fixtures refute as expected, and their witnesses are shown.
+        assert "fixture:figure1/unrestricted-adaptive" in out
+        assert "dependency cycle of 4 channels" in out
+        payload = json.loads(out_path.read_text())
+        assert len(payload["targets"]) >= 40
+        fixture = next(
+            entry
+            for entry in payload["targets"]
+            if entry["target"] == "fixture:figure1/unrestricted-adaptive"
+        )
+        assert fixture["expect"] == "refuted"
+
+    def test_sweep_certify_flag_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["sweep", "--topology", "mesh:4x4", "--pattern", "transpose",
+             "--algorithm", "xy", "--loads", "0.05", "--certify"]
+        )
+        assert args.certify

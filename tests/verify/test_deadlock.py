@@ -1,0 +1,147 @@
+"""Deadlock checker: numbering proofs and paper-figure refutations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing import make_routing
+from repro.sim.deadlock import figure4_routing, unrestricted_adaptive_routing
+from repro.topology import Hypercube, Mesh2D, Torus
+from repro.verify import (
+    PROVED,
+    REFUTED,
+    check_deadlock_freedom,
+    recheck_numbering_certificate,
+)
+
+
+class TestClosedFormProofs:
+    """The paper's theorems are used as the certificates when they apply."""
+
+    @pytest.mark.parametrize(
+        "algorithm, scheme, order",
+        [
+            ("west-first", "theorem-2-west-first", "decreasing"),
+            ("north-last", "theorem-3-north-last", "increasing"),
+            ("negative-first", "theorem-5-negative-first", "increasing"),
+        ],
+    )
+    def test_mesh_closed_forms(self, mesh54, algorithm, scheme, order):
+        result = check_deadlock_freedom(mesh54, make_routing(algorithm, mesh54))
+        assert result.verdict == PROVED
+        assert result.certificate.kind == "channel-numbering"
+        assert result.certificate.data["scheme"] == scheme
+        assert result.certificate.data["order"] == order
+
+    def test_hypercube_pcube_uses_theorem5(self):
+        cube = Hypercube(4)
+        result = check_deadlock_freedom(cube, make_routing("p-cube", cube))
+        assert result.verdict == PROVED
+        assert result.certificate.data["scheme"] == "theorem-5-negative-first"
+
+    def test_xy_falls_back_to_topological(self, mesh54):
+        result = check_deadlock_freedom(mesh54, make_routing("xy", mesh54))
+        assert result.verdict == PROVED
+        assert result.certificate.data["scheme"] == "topological"
+
+    def test_numbering_covers_every_channel_in_the_cdg(self, mesh54):
+        result = check_deadlock_freedom(mesh54, make_routing("west-first", mesh54))
+        numbering = result.certificate.data["numbering"]
+        assert len(numbering) > 0
+        assert all(isinstance(number, int) for number in numbering.values())
+
+
+class TestFigureRefutations:
+    """The paper's two deadlocking configurations must be rejected
+    with witnesses matching the figures."""
+
+    def test_figure1_witness_is_the_four_channel_square(self, mesh44):
+        routing = unrestricted_adaptive_routing(mesh44)
+        result = check_deadlock_freedom(mesh44, routing)
+        assert result.verdict == REFUTED
+        cert = result.certificate
+        assert cert.kind == "dependency-cycle"
+        assert len(cert.data["channels"]) == 4
+        # Figure 1: four messages each turning right block each other.
+        assert sorted(cert.data["turns"]) == sorted(
+            ["east->north", "north->west", "west->south", "south->east"]
+        )
+        # Every dependency is realized by a concrete destination.
+        assert all(dest is not None for dest in cert.data["dests"])
+        assert "dependency cycle of 4 channels" in cert.data["rendered"]
+
+    def test_figure4_witness_avoids_the_prohibited_turns(self):
+        mesh = Mesh2D(5, 5)
+        routing = figure4_routing(mesh)
+        result = check_deadlock_freedom(mesh, routing)
+        assert result.verdict == REFUTED
+        cert = result.certificate
+        assert len(cert.data["channels"]) == 8
+        turns = [turn for turn in cert.data["turns"] if turn != "straight"]
+        # The faulty pair prohibits east->south and south->east; the cycle
+        # that survives (Figure 4b) must not use either.
+        assert "east->south" not in turns
+        assert "south->east" not in turns
+        assert len(turns) == 6
+
+
+class TestRecheck:
+    """Stored certificates remain independently checkable."""
+
+    @pytest.mark.parametrize(
+        "algorithm", ["west-first", "north-last", "negative-first", "xy"]
+    )
+    def test_valid_certificates_recheck(self, mesh54, algorithm):
+        routing = make_routing(algorithm, mesh54)
+        result = check_deadlock_freedom(mesh54, routing)
+        assert recheck_numbering_certificate(mesh54, routing, result.certificate)
+
+    def test_tampered_numbering_fails_recheck(self, mesh54):
+        from repro.verify.report import Certificate
+
+        routing = make_routing("west-first", mesh54)
+        result = check_deadlock_freedom(mesh54, routing)
+        data = dict(result.certificate.data)
+        numbering = dict(data["numbering"])
+        # Flatten the numbering: every edge now violates monotonicity.
+        numbering = {key: 0 for key in numbering}
+        data["numbering"] = numbering
+        tampered = Certificate(
+            kind=result.certificate.kind,
+            summary=result.certificate.summary,
+            data=data,
+        )
+        assert not recheck_numbering_certificate(mesh54, routing, tampered)
+
+    def test_incomplete_numbering_fails_recheck(self, mesh54):
+        from repro.verify.report import Certificate
+
+        routing = make_routing("north-last", mesh54)
+        result = check_deadlock_freedom(mesh54, routing)
+        data = dict(result.certificate.data)
+        numbering = dict(data["numbering"])
+        numbering.pop(next(iter(numbering)))
+        data["numbering"] = numbering
+        tampered = Certificate(
+            kind=result.certificate.kind,
+            summary=result.certificate.summary,
+            data=data,
+        )
+        assert not recheck_numbering_certificate(mesh54, routing, tampered)
+
+
+class TestTorusAndVirtualChannels:
+    def test_negative_first_torus_proves(self):
+        torus = Torus(4, 2)
+        result = check_deadlock_freedom(
+            torus, make_routing("negative-first-torus", torus)
+        )
+        assert result.verdict == PROVED
+
+    def test_dateline_torus_proves(self):
+        from repro.routing.virtual_channels import DatelineTorusRouting
+        from repro.topology.virtual import VirtualChannelTopology
+
+        topology = VirtualChannelTopology(Torus(4, 2), lanes=2)
+        result = check_deadlock_freedom(topology, DatelineTorusRouting(topology))
+        assert result.verdict == PROVED

@@ -1,0 +1,83 @@
+"""Property test: the certifier agrees with the six-step procedure.
+
+Step 4 of the turn model enumerates every way of prohibiting one
+90-degree turn from each abstract cycle and keeps those whose remaining
+turns induce an acyclic dependency graph.  The static certifier must
+reach the same verdict from the other direction — by building the exact
+routing CDG of the induced turn-table router and checking it for cycles
+— on every candidate, including the four Figure-4-style traps that
+nominally break both cycles yet still deadlock.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TurnModel
+from repro.core.restrictions import TurnRestriction
+from repro.routing.turn_table import TurnRestrictionRouting
+from repro.topology import Mesh2D
+from repro.verify import REFUTED, check_deadlock_freedom
+
+_MODEL = TurnModel(2)
+_CANDIDATES = list(_MODEL.candidate_prohibitions())
+_VALID = set(_MODEL.deadlock_free_prohibitions())
+
+
+def _routing(mesh: Mesh2D, prohibited) -> TurnRestrictionRouting:
+    # Nonminimal mode mirrors the turn-induced dependency graph that
+    # Step 4 validates (every permitted turn at every node is usable).
+    restriction = TurnRestriction(2, frozenset(prohibited), name="candidate")
+    return TurnRestrictionRouting(mesh, restriction, minimal=False)
+
+
+@given(choice=st.sampled_from(_CANDIDATES))
+@settings(max_examples=16, deadline=None)
+def test_certifier_agrees_with_step4(choice):
+    mesh = Mesh2D(4, 4)
+    result = check_deadlock_freedom(mesh, _routing(mesh, choice))
+    expected_free = choice in _VALID
+    assert (result.verdict != REFUTED) == expected_free, (
+        f"certifier and TurnModel disagree on {sorted(map(str, choice))}: "
+        f"verdict={result.verdict}, step4 says "
+        f"{'deadlock-free' if expected_free else 'deadlocking'}"
+    )
+
+
+def test_census_totals_match():
+    """All 16 candidates: 12 certify, 4 refute — the paper's census."""
+    mesh = Mesh2D(4, 4)
+    verdicts = [
+        check_deadlock_freedom(mesh, _routing(mesh, choice)).verdict != REFUTED
+        for choice in _CANDIDATES
+    ]
+    assert len(_CANDIDATES) == 16
+    assert sum(verdicts) == 12
+
+
+@given(
+    prohibited=st.sets(
+        st.sampled_from(sorted(_MODEL.turns())), min_size=0, max_size=4
+    )
+)
+@settings(max_examples=20, deadline=None)
+def test_certifier_agrees_on_arbitrary_prohibitions(prohibited):
+    """Beyond one-per-cycle: any prohibition set, same agreement.
+
+    Routers whose restriction disconnects some pair are skipped (the
+    deadlock comparison only makes sense for connected routing; the
+    connectivity checker owns the other case).
+    """
+    mesh = Mesh2D(3, 3)
+    routing = _routing(mesh, prohibited)
+    if any(
+        not routing.route(None, src, dst)
+        for src in mesh.nodes()
+        for dst in mesh.nodes()
+        if src != dst
+    ):
+        return
+    result = check_deadlock_freedom(mesh, routing)
+    expected_free = _MODEL.is_valid_prohibition(prohibited)
+    assert (result.verdict != REFUTED) == expected_free

@@ -1,0 +1,137 @@
+"""Report and certificate dataclasses: validation and JSON round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify import (
+    PROVED,
+    REFUTED,
+    SKIPPED,
+    Certificate,
+    CheckResult,
+    TargetReport,
+    VerificationReport,
+)
+
+
+def _proved(check: str = "deadlock-freedom") -> CheckResult:
+    return CheckResult(
+        check=check,
+        verdict=PROVED,
+        detail="acyclic",
+        certificate=Certificate(
+            kind="channel-numbering",
+            summary="a numbering",
+            data={"scheme": "topological", "numbering": {"c1": 0}},
+        ),
+    )
+
+
+def _refuted() -> CheckResult:
+    return CheckResult(
+        check="deadlock-freedom",
+        verdict=REFUTED,
+        detail="cycle",
+        certificate=Certificate(
+            kind="dependency-cycle",
+            summary="a cycle",
+            data={"channels": ["a", "b"], "turns": ["east->north", "north->east"]},
+        ),
+    )
+
+
+class TestCheckResult:
+    def test_bad_verdict_rejected(self):
+        with pytest.raises(ValueError):
+            CheckResult(check="connectivity", verdict="maybe")
+
+    def test_ok_semantics(self):
+        assert _proved().ok
+        assert CheckResult(check="adaptiveness", verdict=SKIPPED).ok
+        assert not _refuted().ok
+
+    def test_round_trip(self):
+        original = _proved()
+        rebuilt = CheckResult.from_dict(original.to_dict())
+        assert rebuilt == original
+
+    def test_skipped_round_trip_without_certificate(self):
+        original = CheckResult(check="adaptiveness", verdict=SKIPPED, detail="no form")
+        assert CheckResult.from_dict(original.to_dict()) == original
+
+
+class TestTargetReport:
+    def test_bad_expect_rejected(self):
+        with pytest.raises(ValueError):
+            TargetReport(target="t", topology="mesh:4x4", routing="xy", expect="maybe")
+
+    def test_certified_and_verdict(self):
+        report = TargetReport(
+            target="mesh:4x4/xy",
+            topology="mesh:4x4",
+            routing="xy",
+            checks=(_proved(), _proved("connectivity")),
+        )
+        assert report.certified
+        assert report.verdict == "certified"
+        assert report.as_expected
+        assert report.refutations() == []
+
+    def test_refuted_fixture_is_as_expected(self):
+        report = TargetReport(
+            target="fixture:figure1/unrestricted-adaptive",
+            topology="mesh:4x4",
+            routing="unrestricted-adaptive",
+            expect="refuted",
+            checks=(_refuted(),),
+        )
+        assert not report.certified
+        assert report.as_expected
+        assert len(report.refutations()) == 1
+
+    def test_refuted_production_target_is_unexpected(self):
+        report = TargetReport(
+            target="mesh:4x4/xy",
+            topology="mesh:4x4",
+            routing="xy",
+            checks=(_refuted(),),
+        )
+        assert not report.as_expected
+
+
+class TestVerificationReport:
+    def _report(self) -> VerificationReport:
+        certified = TargetReport(
+            target="mesh:4x4/xy",
+            topology="mesh:4x4",
+            routing="xy",
+            checks=(_proved(), _proved("connectivity")),
+        )
+        fixture = TargetReport(
+            target="fixture:figure1/unrestricted-adaptive",
+            topology="mesh:4x4",
+            routing="unrestricted-adaptive",
+            expect="refuted",
+            checks=(_refuted(),),
+        )
+        return VerificationReport(targets=(certified, fixture))
+
+    def test_counts_and_ok(self):
+        report = self._report()
+        assert report.ok
+        assert report.certified_count == 1
+        assert report.refuted_count == 1
+        assert report.unexpected() == []
+
+    def test_json_round_trip_exact(self):
+        report = self._report()
+        rebuilt = VerificationReport.from_json(report.to_json())
+        assert rebuilt == report
+        # Round-tripping twice is also stable at the text level.
+        assert rebuilt.to_json() == report.to_json()
+
+    def test_render_mentions_every_target(self):
+        text = self._report().render()
+        assert "mesh:4x4/xy" in text
+        assert "fixture:figure1/unrestricted-adaptive" in text
