@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Bench regression guard: fail CI when the engine slows down.
+
+Compares a fresh ``repro bench`` payload against the committed
+``BENCH_engine.json`` baseline and exits nonzero when a guarded
+scenario's ``cycles_per_sec`` regressed by more than the threshold
+(default: 15% on ``mesh16-west-first-sat``, the saturated 16x16-mesh
+scenario that dominates paper-scale sweep time).
+
+Usage::
+
+    repro bench --quick --out /tmp/bench-current.json
+    python scripts/check_bench_regression.py \\
+        --baseline BENCH_engine.json --current /tmp/bench-current.json
+
+Non-guarded scenarios are reported for context but never fail the
+check; wall-clock noise on shared CI runners is real, which is why the
+guard watches one long-running scenario with a generous threshold
+rather than every scenario with a tight one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_SCENARIOS = ("mesh16-west-first-sat",)
+DEFAULT_THRESHOLD = 0.15
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    guarded: tuple,
+    threshold: float,
+) -> int:
+    base_scenarios = baseline.get("scenarios", {})
+    cur_scenarios = current.get("scenarios", {})
+    failures = []
+    print(
+        f"{'scenario':28s} {'baseline c/s':>14s} {'current c/s':>14s} "
+        f"{'change':>8s}  guard"
+    )
+    digest_breaks = []
+    for name in sorted(set(base_scenarios) & set(cur_scenarios)):
+        base = base_scenarios[name]
+        cur = cur_scenarios[name]
+        base_rate = base["cycles_per_sec"]
+        cur_rate = cur["cycles_per_sec"]
+        change = cur_rate / base_rate - 1.0
+        is_guarded = name in guarded
+        verdict = ""
+        if is_guarded:
+            if change < -threshold:
+                verdict = "FAIL"
+                failures.append((name, change))
+            else:
+                verdict = "ok"
+        # Same simulated cycles => the run is the same seeded workload,
+        # and its result digest is machine-independent: any mismatch
+        # means engine behavior changed, not just speed.
+        if (
+            base.get("cycles_simulated") == cur.get("cycles_simulated")
+            and base.get("result_digest")
+            and cur.get("result_digest")
+            and base["result_digest"] != cur["result_digest"]
+        ):
+            digest_breaks.append(name)
+            verdict = (verdict + " digest-mismatch").strip()
+        print(
+            f"{name:28s} {base_rate:14.0f} {cur_rate:14.0f} "
+            f"{change:+7.1%}  {verdict}"
+        )
+    missing = [name for name in guarded if name not in cur_scenarios]
+    if missing:
+        print(f"guarded scenario(s) missing from current payload: {missing}")
+        return 2
+    missing = [name for name in guarded if name not in base_scenarios]
+    if missing:
+        print(f"guarded scenario(s) missing from baseline: {missing}")
+        return 2
+    if digest_breaks:
+        print(
+            "BIT-IDENTITY: result digests changed for same-cycle runs: "
+            f"{digest_breaks}"
+        )
+    if failures:
+        for name, change in failures:
+            print(
+                f"REGRESSION: {name} is {-change:.1%} slower than the "
+                f"committed baseline (threshold {threshold:.0%})"
+            )
+    if failures or digest_breaks:
+        return 1
+    print("bench regression guard: ok")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_engine.json",
+        help="committed baseline payload",
+    )
+    parser.add_argument(
+        "--current", required=True, help="freshly produced bench payload"
+    )
+    parser.add_argument(
+        "--scenario",
+        nargs="+",
+        default=list(DEFAULT_SCENARIOS),
+        help="scenario name(s) the guard fails on",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional slowdown before failing (0.15 = 15%%)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+    return compare(baseline, current, tuple(args.scenario), args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,7 @@ from repro.traffic.workload import PAPER_SIZES, SizeDistribution
 __all__ = [
     "SPEC_VERSION",
     "ConfigSpec",
+    "ResilienceSpec",
     "ExperimentSpec",
     "PointSpec",
     "PointOutcome",
@@ -150,6 +151,56 @@ class ConfigSpec:
 
 
 @dataclass(frozen=True)
+class ResilienceSpec:
+    """Runtime fault injection for one point, as pure data.
+
+    Describes the :class:`~repro.resilience.FaultController` a run
+    builds: how many links fail (seed-derived, inside ``window``), the
+    recovery policy for casualties, and whether degraded configurations
+    are re-certified deadlock-free.  Lives here — not in
+    :mod:`repro.resilience` — because it is part of the executor's
+    picklable, content-hashable spec vocabulary; the live controller is
+    built lazily at run time.
+
+    Attributes:
+        fault_count: distinct channels to fail.
+        fault_seed: RNG seed the fault schedule derives from.
+        policy: recovery policy name (``drop``, ``retransmit``,
+            ``abort``).
+        heal_after: cycles until each fault heals (``None`` = permanent).
+        recertify: re-prove each degraded configuration deadlock-free
+            (the CLI's ``--no-recertify`` clears this).
+        require_connected: resample the fault set (bounded) so the fully
+            degraded topology stays strongly connected.
+        window: half-open cycle range faults strike in; ``None`` uses
+            the run's measurement window.
+        retransmit_base_delay, retransmit_delay_cap,
+        retransmit_max_attempts: backoff shape for the ``retransmit``
+            policy (ignored by the others).
+    """
+
+    fault_count: int = 0
+    fault_seed: int = 1
+    policy: str = "drop"
+    heal_after: Optional[int] = None
+    recertify: bool = True
+    require_connected: bool = True
+    window: Optional[Tuple[int, int]] = None
+    retransmit_base_delay: int = 8
+    retransmit_delay_cap: int = 512
+    retransmit_max_attempts: int = 8
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "policy", self.policy.strip().lower())
+        if self.window is not None:
+            object.__setattr__(
+                self, "window", tuple(int(edge) for edge in self.window)
+            )
+        if self.fault_count < 0:
+            raise ValueError(f"fault_count must be >= 0: {self.fault_count}")
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """One simulation point as pure data.
 
@@ -161,6 +212,10 @@ class ExperimentSpec:
         sizes: packet-size distribution as ``(size, probability)`` pairs.
         config: simulator configuration as primitives.
         seed: workload RNG seed.
+        resilience: optional runtime fault injection.  ``None`` (the
+            default) is omitted from the serialized form entirely, so
+            every pre-existing spec hash — and every archived cache
+            entry — is unchanged by the field's existence.
 
     Names are canonicalized on construction, so specs built from alias
     spellings (``"negative_first"``) hash identically to the canonical
@@ -174,6 +229,7 @@ class ExperimentSpec:
     sizes: Tuple[Tuple[int, float], ...] = PAPER_SIZES.choices
     config: ConfigSpec = field(default_factory=ConfigSpec)
     seed: int = 1
+    resilience: Optional[ResilienceSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "topology", self.topology.strip().lower())
@@ -189,9 +245,21 @@ class ExperimentSpec:
         return SizeDistribution(self.sizes)
 
     def to_dict(self) -> dict:
-        """A JSON-ready dict; inverse of :meth:`from_dict`."""
+        """A JSON-ready dict; inverse of :meth:`from_dict`.
+
+        A ``None`` resilience field is dropped from the payload, keeping
+        the serialization — and therefore every content hash and cache
+        key minted before the field existed — byte-identical for
+        fault-free specs.
+        """
         payload = dataclasses.asdict(self)
         payload["sizes"] = [list(pair) for pair in self.sizes]
+        if self.resilience is None:
+            del payload["resilience"]
+        else:
+            window = payload["resilience"]["window"]
+            if window is not None:
+                payload["resilience"]["window"] = list(window)
         return payload
 
     @classmethod
@@ -200,6 +268,9 @@ class ExperimentSpec:
         payload = dict(data)
         payload["sizes"] = tuple(tuple(pair) for pair in payload["sizes"])
         payload["config"] = ConfigSpec(**payload["config"])
+        resilience = payload.get("resilience")
+        if resilience is not None:
+            payload["resilience"] = ResilienceSpec(**resilience)
         return cls(**payload)
 
     def canonical_json(self) -> str:
@@ -229,16 +300,46 @@ class ExperimentSpec:
 
     def run(self) -> SimulationResult:
         """Simulate this point and return its result."""
+        return self.run_detailed()[0]
+
+    def run_detailed(self) -> Tuple[SimulationResult, Optional[dict]]:
+        """Simulate this point, returning the result and (for points
+        with a resilience spec) the fault run's stats summary.
+
+        Fault-free points take exactly the historical :func:`simulate`
+        path; the resilience machinery is imported — and the controller
+        built — only when the spec asks for it.
+        """
         resolved = self.resolve()
-        return simulate(
-            resolved.topology,
-            resolved.routing,
-            resolved.pattern,
-            offered_load=self.load,
+        if self.resilience is None:
+            result = simulate(
+                resolved.topology,
+                resolved.routing,
+                resolved.pattern,
+                offered_load=self.load,
+                sizes=resolved.sizes,
+                config=resolved.config,
+                seed=self.seed,
+            )
+            return result, None
+        from repro.resilience.controller import build_controller
+        from repro.sim.engine import WormholeSimulator
+        from repro.traffic.workload import Workload
+
+        controller = build_controller(
+            resolved.topology, self.routing, self.resilience, resolved.config
+        )
+        workload = Workload(
+            pattern=resolved.pattern,
             sizes=resolved.sizes,
-            config=resolved.config,
+            offered_load=self.load,
             seed=self.seed,
         )
+        simulator = WormholeSimulator(
+            resolved.routing, workload, resolved.config, resilience=controller
+        )
+        result = simulator.run()
+        return result, controller.stats.summary()
 
 
 @dataclass(frozen=True)
@@ -293,12 +394,16 @@ class PointOutcome:
         result: the simulation result (from the cache or a fresh run).
         wall_time_s: seconds the simulation took; 0.0 for cache hits.
         cached: whether the result came from the cache.
+        resilience: the fault run's stats summary (delivered/dropped
+            fractions, detours, recovery latency); ``None`` for points
+            without a resilience spec.
     """
 
     point: PointSpec
     result: SimulationResult
     wall_time_s: float
     cached: bool
+    resilience: Optional[dict] = None
 
 
 @dataclass
@@ -389,6 +494,16 @@ class ResultCache:
 
     def load(self, spec: ExperimentSpec) -> Optional[SimulationResult]:
         """The cached result, or ``None`` on a miss or a corrupt entry."""
+        loaded = self.load_with_extras(spec)
+        return loaded[0] if loaded is not None else None
+
+    def load_with_extras(
+        self, spec: ExperimentSpec
+    ) -> Optional[Tuple[SimulationResult, Optional[dict]]]:
+        """The cached (result, resilience summary), or ``None`` on a
+        miss or a corrupt entry.  The summary is ``None`` for entries
+        stored without one (fault-free points, and all pre-resilience
+        archives)."""
         from repro.analysis.results_io import result_from_dict
 
         path = self.path_for(spec)
@@ -399,12 +514,19 @@ class ResultCache:
         if payload.get("spec") != spec.to_dict():
             return None
         try:
-            return result_from_dict(payload["result"])
+            result = result_from_dict(payload["result"])
         except (KeyError, TypeError, ValueError):
             return None
+        extras = payload.get("resilience")
+        return result, extras if isinstance(extras, dict) else None
 
-    def store(self, spec: ExperimentSpec, result: SimulationResult) -> None:
-        """Persist one result atomically."""
+    def store(
+        self,
+        spec: ExperimentSpec,
+        result: SimulationResult,
+        extras: Optional[dict] = None,
+    ) -> None:
+        """Persist one result (plus any resilience summary) atomically."""
         from repro.analysis.results_io import result_to_dict
 
         path = self.path_for(spec)
@@ -413,6 +535,8 @@ class ResultCache:
             "spec": spec.to_dict(),
             "result": result_to_dict(result),
         }
+        if extras is not None:
+            payload["resilience"] = extras
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
         os.replace(tmp, path)
@@ -421,14 +545,16 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*.json"))
 
 
-def _run_point_job(spec: ExperimentSpec) -> Tuple[SimulationResult, float]:
+def _run_point_job(
+    spec: ExperimentSpec,
+) -> Tuple[SimulationResult, Optional[dict], float]:
     """Worker entry point: simulate one spec, timing it.
 
     Module-level so it pickles under every multiprocessing start method.
     """
     started = time.perf_counter()
-    result = spec.run()
-    return result, time.perf_counter() - started
+    result, extras = spec.run_detailed()
+    return result, extras, time.perf_counter() - started
 
 
 class SweepExecutor:
@@ -538,11 +664,14 @@ class SweepExecutor:
         self, point: PointSpec, metrics: ExecutorMetrics
     ) -> Optional[PointOutcome]:
         cached = (
-            self.cache.load(point.spec) if self.cache is not None else None
+            self.cache.load_with_extras(point.spec)
+            if self.cache is not None
+            else None
         )
         if cached is None:
             return None
-        outcome = PointOutcome(point, cached, 0.0, True)
+        result, extras = cached
+        outcome = PointOutcome(point, result, 0.0, True, resilience=extras)
         metrics.cache_hits += 1
         metrics.points_completed += 1
         self.hooks.on_point_done(outcome)
@@ -554,10 +683,11 @@ class SweepExecutor:
         result: SimulationResult,
         wall_time: float,
         metrics: ExecutorMetrics,
+        extras: Optional[dict] = None,
     ) -> PointOutcome:
         if self.cache is not None:
-            self.cache.store(point.spec, result)
-        outcome = PointOutcome(point, result, wall_time, False)
+            self.cache.store(point.spec, result, extras=extras)
+        outcome = PointOutcome(point, result, wall_time, False, resilience=extras)
         metrics.simulated += 1
         metrics.points_completed += 1
         metrics.cycles_simulated += point.spec.config.total_cycles
@@ -572,8 +702,8 @@ class SweepExecutor:
         if outcome is not None:
             return outcome
         self.hooks.on_point_start(point)
-        result, wall_time = _run_point_job(point.spec)
-        return self._complete_fresh(point, result, wall_time, metrics)
+        result, extras, wall_time = _run_point_job(point.spec)
+        return self._complete_fresh(point, result, wall_time, metrics, extras)
 
     def _run_parallel(
         self,
@@ -593,9 +723,9 @@ class SweepExecutor:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     i = futures[future]
-                    result, wall_time = future.result()
+                    result, extras, wall_time = future.result()
                     outcomes[i] = self._complete_fresh(
-                        points[i], result, wall_time, metrics
+                        points[i], result, wall_time, metrics, extras
                     )
 
     # -- conveniences -------------------------------------------------

@@ -31,11 +31,19 @@ from repro.analysis.executor import (
     PointOutcome,
     PointSpec,
     ProgressPrinter,
+    ResilienceSpec,
     ResolvedSpec,
     ResultCache,
     SweepExecutor,
     resolve_spec,
     run_spec,
+)
+from repro.resilience import (
+    FaultController,
+    FaultSchedule,
+    FaultSweepResult,
+    fault_sweep,
+    render_fault_table,
 )
 from repro.analysis.sweep import (
     SweepPoint,
@@ -81,6 +89,13 @@ __all__ = [
     "SweepSeries",
     "SimulationConfig",
     "SimulationResult",
+    # Runtime fault injection.
+    "ResilienceSpec",
+    "FaultSchedule",
+    "FaultController",
+    "fault_sweep",
+    "FaultSweepResult",
+    "render_fault_table",
     # Registries and specs.
     "make_routing",
     "available_algorithms",

@@ -8,6 +8,7 @@ Subcommands::
               --pattern transpose --load 0.2
     turnmodel sweep --topology mesh:16x16 --algorithm xy negative-first \\
               --pattern transpose --jobs 4 --cache-dir .sweep-cache
+    turnmodel resilience --preset quick # fault-injection delivered-fraction sweep
     turnmodel deadlock --figure 1       # watch an unsafe algorithm deadlock
     turnmodel verify --all              # statically certify every algorithm
     turnmodel bench --quick             # engine cycles/sec benchmark
@@ -153,6 +154,54 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             jobs=args.jobs,
         )
         save_json(payload, args.out)
+        print(f"[saved to {args.out}]")
+    return 0
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.analysis.executor import ProgressPrinter, SweepExecutor
+    from repro.experiments.presets import get_fault_sweep_preset
+    from repro.resilience import fault_sweep, render_fault_table
+
+    preset = get_fault_sweep_preset(args.preset)
+    topology = args.topology or preset.topology()
+    algorithms = args.algorithm or list(preset.algorithms)
+    load = args.load if args.load is not None else preset.load
+    faults = (
+        tuple(args.faults) if args.faults is not None else preset.fault_counts
+    )
+    config = preset.sim_config(
+        **{
+            key: value
+            for key, value in (
+                ("warmup_cycles", args.warmup),
+                ("measure_cycles", args.measure),
+                ("drain_cycles", args.drain),
+            )
+            if value is not None
+        }
+    )
+    hooks = ProgressPrinter() if args.progress else None
+    executor = SweepExecutor(jobs=args.jobs, cache_dir=args.cache_dir, hooks=hooks)
+    sweep = fault_sweep(
+        topology,
+        algorithms,
+        args.pattern,
+        load,
+        faults,
+        config=config,
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        policy=args.policy or preset.policy,
+        heal_after=args.heal_after,
+        recertify=not args.no_recertify,
+        executor=executor,
+    )
+    print(render_fault_table(sweep))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(sweep.to_json())
+            fh.write("\n")
         print(f"[saved to {args.out}]")
     return 0
 
@@ -357,6 +406,68 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--buffer-depth", type=int, default=1)
     p_sim.add_argument("--seed", type=int, default=1)
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_res = sub.add_parser(
+        "resilience",
+        help="runtime fault-injection sweep: delivered fraction vs faults",
+    )
+    p_res.add_argument(
+        "--preset", default="quick", choices=["quick", "mid", "paper"]
+    )
+    p_res.add_argument(
+        "--topology", default=None, help="override the preset topology spec"
+    )
+    p_res.add_argument(
+        "--algorithm",
+        nargs="+",
+        default=None,
+        help="override the preset algorithm list",
+    )
+    p_res.add_argument("--pattern", default="uniform")
+    p_res.add_argument(
+        "--load", type=float, default=None, help="override the preset load"
+    )
+    p_res.add_argument(
+        "--faults",
+        type=int,
+        nargs="+",
+        default=None,
+        help="explicit fault counts (override the preset escalation)",
+    )
+    p_res.add_argument(
+        "--policy",
+        default=None,
+        help="recovery policy: drop, retransmit, or abort",
+    )
+    p_res.add_argument(
+        "--heal-after",
+        type=int,
+        default=None,
+        help="cycles until each fault heals (default: permanent)",
+    )
+    p_res.add_argument("--seed", type=int, default=1, help="workload seed")
+    p_res.add_argument(
+        "--fault-seed", type=int, default=1, help="fault-schedule base seed"
+    )
+    p_res.add_argument(
+        "--no-recertify",
+        action="store_true",
+        help="skip re-proving each degraded topology deadlock-free",
+    )
+    p_res.add_argument(
+        "--jobs", type=int, default=1, help="parallel worker processes"
+    )
+    p_res.add_argument(
+        "--cache-dir", default=None, help="reuse cached simulation points"
+    )
+    p_res.add_argument("--warmup", type=int, default=None)
+    p_res.add_argument("--measure", type=int, default=None)
+    p_res.add_argument("--drain", type=int, default=None)
+    p_res.add_argument(
+        "--progress", action="store_true", help="narrate per-point progress"
+    )
+    p_res.add_argument("--out", default=None, help="archive the sweep as JSON")
+    p_res.set_defaults(func=_cmd_resilience)
 
     p_dead = sub.add_parser("deadlock", help="demonstrate a deadlock")
     p_dead.add_argument("--figure", type=int, default=1, choices=[1, 4])

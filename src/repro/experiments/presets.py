@@ -21,7 +21,14 @@ from repro.sim.config import SimulationConfig
 from repro.topology.hypercube import Hypercube
 from repro.topology.mesh import Mesh2D
 
-__all__ = ["Preset", "PRESETS", "get_preset"]
+__all__ = [
+    "Preset",
+    "PRESETS",
+    "get_preset",
+    "FaultSweepPreset",
+    "FAULT_SWEEP_PRESETS",
+    "get_fault_sweep_preset",
+]
 
 
 @dataclass(frozen=True)
@@ -119,4 +126,99 @@ def get_preset(name: str) -> Preset:
         return PRESETS[name]
     except KeyError:
         known = ", ".join(sorted(PRESETS))
+        raise ValueError(f"unknown preset {name!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class FaultSweepPreset:
+    """One scale of the runtime fault-tolerance experiment.
+
+    The ``paper`` scale compares the turn-model algorithms against
+    dimension-order xy on the paper's 16x16 mesh under escalating
+    runtime link-failure counts — Section 1's fault-tolerance claim as a
+    measurement (see ``repro resilience`` and
+    :func:`repro.resilience.fault_sweep`).
+
+    Attributes:
+        name: preset identifier.
+        mesh_side: the mesh is ``mesh_side x mesh_side``.
+        pattern: traffic pattern name.
+        load: offered load, below saturation so delivered fraction
+            isolates fault losses from congestion losses.
+        fault_counts: the escalation axis (0 = healthy baseline).
+        algorithms: routing registry names compared.
+        warmup_cycles, measure_cycles, drain_cycles: simulator windows.
+        policy: recovery policy for casualties.
+    """
+
+    name: str
+    mesh_side: int
+    pattern: str
+    load: float
+    fault_counts: tuple
+    algorithms: tuple = (
+        "xy",
+        "west-first",
+        "negative-first",
+        "west-first-nonminimal",
+    )
+    warmup_cycles: int = 1_500
+    measure_cycles: int = 6_000
+    drain_cycles: int = 2_500
+    policy: str = "drop"
+
+    def topology(self) -> str:
+        """The mesh as a topology spec string."""
+        return f"mesh:{self.mesh_side}x{self.mesh_side}"
+
+    def sim_config(self, **overrides) -> SimulationConfig:
+        settings = dict(
+            warmup_cycles=self.warmup_cycles,
+            measure_cycles=self.measure_cycles,
+            drain_cycles=self.drain_cycles,
+        )
+        settings.update(overrides)
+        return SimulationConfig(**settings)
+
+
+FAULT_SWEEP_PRESETS = {
+    "quick": FaultSweepPreset(
+        name="quick",
+        mesh_side=8,
+        pattern="uniform",
+        load=0.06,
+        fault_counts=(0, 2, 4, 8),
+        warmup_cycles=400,
+        measure_cycles=2_000,
+        drain_cycles=1_000,
+    ),
+    "mid": FaultSweepPreset(
+        name="mid",
+        mesh_side=16,
+        pattern="uniform",
+        load=0.05,
+        fault_counts=(0, 4, 8, 16),
+        warmup_cycles=1_500,
+        measure_cycles=6_000,
+        drain_cycles=2_500,
+    ),
+    "paper": FaultSweepPreset(
+        name="paper",
+        mesh_side=16,
+        pattern="uniform",
+        load=0.05,
+        fault_counts=(0, 4, 8, 16, 24),
+        warmup_cycles=3_000,
+        measure_cycles=10_000,
+        drain_cycles=4_000,
+    ),
+}
+
+
+def get_fault_sweep_preset(name: str) -> FaultSweepPreset:
+    """Look up a fault-sweep preset (``quick``, ``mid``, or ``paper``)."""
+    try:
+        return FAULT_SWEEP_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_SWEEP_PRESETS))
         raise ValueError(f"unknown preset {name!r}; known: {known}") from None

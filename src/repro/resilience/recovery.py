@@ -1,0 +1,159 @@
+"""Recovery policies: what happens to a packet a fault takes down.
+
+When a link dies under a packet (or a degraded topology leaves a header
+with no route), the engine asks the run's :class:`RecoveryPolicy` what
+to do with the casualty.  Three policies cover the design space the
+fault-tolerant NoC literature uses:
+
+* :class:`DropAndCount` — discard the packet and account for it; the
+  delivered-fraction metric then measures raw routing fault tolerance.
+* :class:`SourceRetransmit` — re-enqueue the whole message at its source
+  after a capped exponential backoff, giving end-to-end delivery
+  semantics over an unreliable network.
+* :class:`AbortRun` — stop the simulation at the first casualty, for
+  experiments where any loss invalidates the run.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = [
+    "ABORT",
+    "DROP",
+    "RETRY",
+    "AbortRun",
+    "DropAndCount",
+    "RecoveryDecision",
+    "RecoveryPolicy",
+    "SourceRetransmit",
+    "available_recovery_policies",
+    "make_recovery_policy",
+]
+
+#: Decision action: discard the packet and count it dropped.
+DROP = "drop"
+#: Decision action: re-enqueue the message at its source after ``delay``.
+RETRY = "retry"
+#: Decision action: terminate the run.
+ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class RecoveryDecision:
+    """What to do with one casualty.
+
+    Attributes:
+        action: :data:`DROP`, :data:`RETRY`, or :data:`ABORT`.
+        delay: cycles to wait before the retransmission (``RETRY`` only).
+    """
+
+    action: str
+    delay: int = 0
+
+
+class RecoveryPolicy(ABC):
+    """Decides the fate of packets lost to faults.
+
+    Attributes:
+        name: registry identifier (``drop``, ``retransmit``, ``abort``).
+    """
+
+    name: str = "unnamed"
+
+    @abstractmethod
+    def decide(self, attempt: int) -> RecoveryDecision:
+        """The decision for a casualty on its ``attempt``-th loss.
+
+        Args:
+            attempt: how many times this message has already been
+                retransmitted (0 on the first loss).
+        """
+
+
+class DropAndCount(RecoveryPolicy):
+    """Discard every casualty; the stats layer counts them."""
+
+    name = "drop"
+
+    def decide(self, attempt: int) -> RecoveryDecision:
+        return RecoveryDecision(DROP)
+
+
+class SourceRetransmit(RecoveryPolicy):
+    """Re-send lost messages from their source, with capped backoff.
+
+    The k-th retransmission of a message waits
+    ``min(base_delay * 2**k, delay_cap)`` cycles; after ``max_attempts``
+    losses the message is dropped for good.
+
+    Args:
+        base_delay: backoff for the first retransmission, in cycles.
+        delay_cap: ceiling on the exponential backoff.
+        max_attempts: retransmissions before giving up on a message.
+    """
+
+    name = "retransmit"
+
+    def __init__(
+        self, base_delay: int = 8, delay_cap: int = 512, max_attempts: int = 8
+    ):
+        if base_delay < 1:
+            raise ValueError(f"base_delay must be >= 1, got {base_delay}")
+        if delay_cap < base_delay:
+            raise ValueError(
+                f"delay_cap ({delay_cap}) must be >= base_delay ({base_delay})"
+            )
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.base_delay = base_delay
+        self.delay_cap = delay_cap
+        self.max_attempts = max_attempts
+
+    def decide(self, attempt: int) -> RecoveryDecision:
+        if attempt >= self.max_attempts:
+            return RecoveryDecision(DROP)
+        # attempt is capped above, and the shift saturates at delay_cap,
+        # so the exponent cannot blow up.
+        delay = min(self.base_delay << min(attempt, 30), self.delay_cap)
+        return RecoveryDecision(RETRY, delay)
+
+
+class AbortRun(RecoveryPolicy):
+    """Terminate the run at the first casualty."""
+
+    name = "abort"
+
+    def decide(self, attempt: int) -> RecoveryDecision:
+        return RecoveryDecision(ABORT)
+
+
+_POLICIES = {
+    DropAndCount.name: DropAndCount,
+    SourceRetransmit.name: SourceRetransmit,
+    AbortRun.name: AbortRun,
+}
+
+
+def available_recovery_policies() -> tuple:
+    """The registered policy names, sorted."""
+    return tuple(sorted(_POLICIES))
+
+
+def make_recovery_policy(name: str, **kwargs) -> RecoveryPolicy:
+    """Instantiate a recovery policy by registry name.
+
+    Args:
+        name: ``drop``, ``retransmit``, or ``abort``.
+        kwargs: constructor arguments (``retransmit`` accepts
+            ``base_delay``, ``delay_cap``, ``max_attempts``).
+    """
+    try:
+        factory = _POLICIES[name.strip().lower()]
+    except KeyError:
+        known = ", ".join(available_recovery_policies())
+        raise ValueError(
+            f"unknown recovery policy {name!r}; known: {known}"
+        ) from None
+    return factory(**kwargs)

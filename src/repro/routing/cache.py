@@ -22,7 +22,7 @@ states visited by actual traffic are materialized.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.routing.base import RoutingAlgorithm
 from repro.topology.channels import Channel, NodeId
@@ -103,6 +103,49 @@ class RouteCache:
     def clear(self) -> None:
         """Drop all memoized routes (counters are kept)."""
         self._table.clear()
+
+    def retarget(self, routing: RoutingAlgorithm) -> None:
+        """Swap the memoized algorithm, keeping compatible entries.
+
+        Used by runtime fault injection when the degraded algorithm is a
+        filtered view of the same base relation: entries for untouched
+        routing states remain valid (the caller invalidates the touched
+        ones via :meth:`invalidate_channels`).  The replacement must be
+        cacheable and share the old algorithm's key shape.
+        """
+        if not getattr(routing, "cacheable", True):
+            raise ValueError(
+                f"{routing.name} declares cacheable=False; it cannot "
+                "replace a memoized algorithm"
+            )
+        if getattr(routing, "uses_in_channel", True) != self._keyed_on_in_channel:
+            raise ValueError(
+                f"{routing.name} keys routes differently than the cached "
+                "algorithm (uses_in_channel mismatch); build a new cache"
+            )
+        self.routing = routing
+
+    def invalidate_channels(self, channels: Iterable[Channel]) -> int:
+        """Drop every entry whose decision could involve ``channels``.
+
+        A cached candidate tuple holds output channels of the key's
+        node, so an entry can only mention a channel whose source node
+        equals that key's node — dropping every key at the changed
+        channels' source nodes over-approximates exactly the stale set.
+
+        Returns:
+            The number of entries dropped.
+        """
+        nodes = {channel.src for channel in channels}
+        if not nodes:
+            return 0
+        table = self._table
+        # key is (in_channel, node, dest) or (node, dest); the node is
+        # always the second-to-last component.
+        stale = [key for key in table if key[-2] in nodes]
+        for key in stale:
+            del table[key]
+        return len(stale)
 
     @property
     def hit_rate(self) -> float:

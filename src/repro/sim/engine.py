@@ -31,7 +31,7 @@ import random
 from collections import deque
 from heapq import heapify, heappop, heappush
 from operator import attrgetter
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from repro.routing.base import RoutingAlgorithm
 from repro.routing.cache import RouteCache
@@ -43,6 +43,9 @@ from repro.sim.stats import SimulationResult, StatsCollector, percentile
 from repro.sim.trace import TraceRecorder
 from repro.topology.channels import Channel, NodeId
 from repro.traffic.workload import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.resilience.controller import FaultController
 
 __all__ = ["WormholeSimulator", "RoutingError"]
 
@@ -97,6 +100,7 @@ class WormholeSimulator:
         config: Optional[SimulationConfig] = None,
         preload: Optional[List[Tuple[NodeId, NodeId, int, float]]] = None,
         trace: Optional[TraceRecorder] = None,
+        resilience: Optional["FaultController"] = None,
     ):
         """
         Args:
@@ -109,6 +113,13 @@ class WormholeSimulator:
                 (combine with ``offered_load=0`` for a closed workload).
             trace: optional :class:`~repro.sim.trace.TraceRecorder`
                 capturing packet-level events (grants, deliveries, ...).
+            resilience: optional
+                :class:`~repro.resilience.controller.FaultController`
+                injecting runtime link faults.  With a controller bound,
+                an unroutable header is a recoverable casualty rather
+                than a :class:`RoutingError`; with an empty schedule the
+                fault hook never fires and results are bit-identical to
+                a run without a controller.
         """
         self.topology = routing.topology
         if workload.pattern.topology is not self.topology:
@@ -258,6 +269,18 @@ class WormholeSimulator:
             for ch, state in self._net_states.items():
                 state.rank = ranking(ch)
         self._rank_grant = ranking is not None
+        # Runtime fault injection.  ``_active_routing`` is what headers
+        # actually route against — rebound to a degraded algorithm when
+        # the controller applies a fault, back to ``routing`` when every
+        # channel heals.  ``_strict_routes`` preserves the historical
+        # contract (empty candidate sets raise) for fault-free runs.
+        self._resilience = resilience
+        self._strict_routes = resilience is None
+        self._active_routing: RoutingAlgorithm = routing
+        self._res_abort = False
+        self._stats: Optional[StatsCollector] = None
+        if resilience is not None:
+            resilience.bind(routing, self.topology)
 
     # ------------------------------------------------------------------
     # Resource helpers
@@ -460,13 +483,15 @@ class WormholeSimulator:
         else:
             states = tuple(
                 self._net_states[ch]
-                for ch in self.routing.route(in_channel, node, packet.dest)
+                for ch in self._active_routing.route(in_channel, node, packet.dest)
             )
-        if not states:
+        if not states and self._strict_routes:
             raise RoutingError(
                 f"{self.routing.name} offered no route for {packet!r} at {node} "
                 f"(arrived via {in_channel})"
             )
+        # Empty with a fault controller bound: the degraded topology cut
+        # the header off; _allocate hands the packet to recovery.
         return states
 
     def _allocate(self) -> None:
@@ -532,7 +557,14 @@ class WormholeSimulator:
                 continue
             candidates = packet.pending_candidates
             if candidates is None:
-                candidates = packet.pending_candidates = candidates_for(packet)
+                candidates = candidates_for(packet)
+                if not candidates:
+                    # Only reachable with a fault controller bound
+                    # (_candidates_for raises otherwise): the degraded
+                    # topology stranded this header.
+                    self._recover(packet, in_allocation=True)
+                    continue
+                packet.pending_candidates = candidates
             if len(candidates) == 1:
                 # Single candidate (ejection, or a one-way route): no
                 # free-list build, no selection.
@@ -778,10 +810,171 @@ class WormholeSimulator:
         self._total_delivered += 1
         if self.trace is not None:
             self.trace.record(self.cycle, "delivered", packet.pid, packet.dest)
+        if self._resilience is not None:
+            self._resilience.on_delivered(packet, self.cycle)
         stats.record_packet_done(
             packet.create_time, packet.inject_cycle, self.cycle, packet.hops,
             size=packet.size,
         )
+
+    # ------------------------------------------------------------------
+    # Runtime fault injection
+
+    def _resilience_tick(self, ctrl: "FaultController") -> None:
+        """Apply due fault events and release due retransmissions.
+
+        Runs at the top of a cycle, before generation and allocation, so
+        a fault at cycle *c* degrades the topology before any routing
+        decision of cycle *c*, and a retransmission whose backoff ends
+        at *c* can inject at *c*.  Only called when ``ctrl.next_wake``
+        has arrived — a controller with nothing pending costs the hot
+        loop a single comparison per cycle.
+        """
+        cycle = self.cycle
+        # 1. Due retransmissions re-enter their source queues as whole
+        #    messages, keeping their original creation time.
+        for _ready, _seq, src, dest, size, create_time in ctrl.pop_retries(cycle):
+            index = self._node_index[src]
+            self._queues[index].append((dest, size, create_time))
+            self._queued_total += 1
+            self._inj_candidates.add(index)
+        if ctrl.next_event_cycle > cycle:
+            return
+        # 2. Apply the due fail/heal events.  ``advance`` rebuilds the
+        #    degraded topology/routing pair and (unless disabled)
+        #    re-certifies it deadlock-free, raising CertificationError
+        #    on refutation — the run must not proceed unsafely.
+        events = ctrl.advance(cycle)
+        if not events:
+            return
+        trace = self.trace
+        changed: List[Channel] = []
+        victims: List[Packet] = []
+        for event in events:
+            changed.append(event.channel)
+            if trace is not None:
+                trace.record(cycle, "fault", -1, (event.kind, event.channel))
+            if event.kind == "fail":
+                owner = self._net_states[event.channel].owner
+                if owner is not None and owner not in victims:
+                    victims.append(owner)
+        # 3. Point allocation at the degraded routing relation.
+        self._refresh_routing(ctrl, changed)
+        # 4. Flush every routing decision taken against the old
+        #    topology: cached candidates are re-resolved, and parked
+        #    headers rejoin the waiter list (their candidate sets may
+        #    have changed entirely).
+        woken = self._woken
+        for packet in self._active:
+            packet.pending_candidates = None
+            if packet.parked:
+                packet.parked = False
+                woken.append(packet)
+        # 5. Packets with flits on a now-dead channel are casualties.
+        for packet in victims:
+            self._recover(packet)
+
+    def _refresh_routing(
+        self, ctrl: "FaultController", changed: List[Channel]
+    ) -> None:
+        """Swap in the controller's current routing and fix the cache.
+
+        A filter-mode degradation (:class:`DegradedRouting` over the
+        same base) only changes decisions at the endpoints of ``changed``
+        channels, so the existing cache is retargeted and just those
+        nodes' entries are dropped.  A factory-rebuilt algorithm may
+        shift decisions anywhere (a reachability oracle recomputes
+        globally), so it gets a fresh cache; the hit/miss counters carry
+        over for ``repro bench`` reporting.
+        """
+        new = ctrl.current_routing
+        prev = self._active_routing
+        if new is None or new is prev:
+            return
+        self._active_routing = new
+        cache = self._route_cache
+        if not getattr(new, "cacheable", True):
+            self._route_cache = None
+            return
+        same_base = (
+            getattr(new, "degraded_base", new)
+            is getattr(prev, "degraded_base", prev)
+        )
+        if cache is not None and same_base:
+            cache.retarget(new)
+            cache.invalidate_channels(changed)
+            return
+        fresh = RouteCache(new, resolve=self._net_states.__getitem__)
+        if cache is not None:
+            fresh.hits = cache.hits
+            fresh.misses = cache.misses
+        self._route_cache = fresh
+
+    def _recover(self, packet: Packet, in_allocation: bool = False) -> None:
+        """Tear a casualty out of the network and apply recovery.
+
+        The packet's buffered flits are discarded, every held channel is
+        released (waking parked headers and backlogged sources), and the
+        controller's policy decides the message's fate: re-enqueue after
+        a backoff (``retry``), count it lost (``drop``), or stop the run
+        (``abort``).
+
+        Args:
+            packet: the casualty (held a failed channel, or its header
+                has no route on the degraded topology).
+            in_allocation: True when called from inside ``_allocate``'s
+                waiter scan — the scan already excludes the packet from
+                the rebuilt waiter list, and mutating the list being
+                iterated would corrupt it.
+        """
+        ctrl = self._resilience
+        assert ctrl is not None
+        cycle = self.cycle
+        decision = ctrl.casualty(packet, cycle)
+        trace = self.trace
+        if trace is not None:
+            if decision.action == "retry":
+                trace.record(
+                    cycle,
+                    "retransmitted",
+                    packet.pid,
+                    (packet.src, packet.dest, decision.delay),
+                )
+            elif decision.action == "drop":
+                trace.record(
+                    cycle, "dropped", packet.pid, (packet.src, packet.dest)
+                )
+        # Discard buffered flits and release the held chain.  Wormhole
+        # ownership is exclusive, so each held channel's count includes
+        # exactly this packet's occupancy entry.
+        path = packet.path
+        occupancy = packet.occupancy
+        for i, state in enumerate(path):
+            state.count -= occupancy[i]
+            state.owner = None
+            self._released(state)
+        path.clear()
+        occupancy.clear()
+        packet.pending_candidates = None
+        packet.parked = False
+        packet.park_token += 1  # invalidate stale wake-list entries
+        packet.header_present = False
+        packet.stalled = True
+        try:
+            self._active.remove(packet)
+        except ValueError:
+            pass
+        if not in_allocation:
+            for waitlist in (self._waiters, self._new_waiters, self._woken):
+                try:
+                    waitlist.remove(packet)
+                except ValueError:
+                    pass
+        if decision.action == "drop":
+            if self._stats is not None:
+                self._stats.record_packet_dropped()
+        elif decision.action == "abort":
+            self._res_abort = True
 
     # ------------------------------------------------------------------
     # Main loop
@@ -803,6 +996,8 @@ class WormholeSimulator:
         warmup = config.warmup_cycles
         window_end = warmup + config.measure_cycles
         stats = StatsCollector(warmup, window_end)
+        self._stats = stats
+        resilience = self._resilience
         total = config.total_cycles
         max_packets = config.max_packets
         deadlock_threshold = config.deadlock_threshold
@@ -835,6 +1030,12 @@ class WormholeSimulator:
                 stats.queue_len_at_window_start = self._queued_total
             if cycle == window_end:
                 stats.queue_len_at_window_end = self._queued_total
+            # Runtime faults: the controller advertises the next cycle
+            # it has work (a schedule event or a due retransmission), so
+            # fault-free cycles — and entire fault-free runs — cost one
+            # comparison here.
+            if resilience is not None and resilience.next_wake <= cycle:
+                self._resilience_tick(resilience)
             # Dispatch each phase only when it has work: a phase with an
             # empty work set is a no-op in the reference engine too.
             if heap and heap[0][0] <= cycle:
@@ -843,6 +1044,9 @@ class WormholeSimulator:
                 start_packets()
             if self._waiters or new_waiters or woken:
                 allocate()
+            if resilience is not None and self._res_abort:
+                # An AbortRun recovery policy stopped the run.
+                break
             if multilane:
                 self._phy_used.clear()
                 if len(active) > 1:
@@ -884,6 +1088,7 @@ class WormholeSimulator:
                 and self._messages_created >= max_packets
                 and not active
                 and self._queued_total == 0
+                and (resilience is None or not resilience.retries_pending)
             ):
                 break
             cycle += 1
@@ -904,6 +1109,13 @@ class WormholeSimulator:
                         target += 1
                 else:
                     target = total - 1
+                if resilience is not None:
+                    # The next fault event or due retransmission must
+                    # still execute on its exact cycle (``inf`` when the
+                    # controller is idle fails the comparison).
+                    wake = resilience.next_wake
+                    if wake < target:
+                        target = int(wake)
                 if cycle <= warmup:
                     target = min(target, warmup)
                 elif cycle <= window_end:
@@ -914,6 +1126,8 @@ class WormholeSimulator:
             stats.queue_len_at_window_start = self._queued_total
         if stats.queue_len_at_window_end is None:
             stats.queue_len_at_window_end = self._queued_total
+        if resilience is not None:
+            resilience.finish(self._messages_created, self.cycle)
         return self._result(stats)
 
     def _total_queued(self) -> int:

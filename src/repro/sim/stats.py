@@ -36,6 +36,11 @@ class StatsCollector:
         self.measured_created = 0
         self.queue_len_at_window_start: Optional[int] = None
         self.queue_len_at_window_end: Optional[int] = None
+        # Packets discarded by fault recovery (runtime fault injection).
+        # Deliberately not a SimulationResult field: the result schema is
+        # digest-pinned by the determinism suite, and the full resilience
+        # accounting lives in repro.resilience.stats.
+        self.dropped_packets = 0
 
     def in_window(self, time: float) -> bool:
         return self.window_start <= time < self.window_end
@@ -44,6 +49,10 @@ class StatsCollector:
         if self.in_window(create_time):
             self.offered_flits_in_window += size
             self.measured_created += 1
+
+    def record_packet_dropped(self) -> None:
+        """Count a packet discarded by fault recovery."""
+        self.dropped_packets += 1
 
     def record_flit_consumed(self, cycle: int) -> None:
         if self.in_window(cycle):

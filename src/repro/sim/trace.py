@@ -2,16 +2,21 @@
 
 A :class:`TraceRecorder` passed to :class:`~repro.sim.engine
 .WormholeSimulator` records the packet-level events of a run — creation,
-injection, every channel grant, completion, and deadlock — with a hard
-cap so a saturated run cannot exhaust memory.  Traces make routing
-behavior inspectable ("which path did packet 17 actually take?") and
-power the path-replay assertions in the test suite.
+injection, every channel grant, completion, deadlock, and (under runtime
+fault injection) faults, drops, and retransmissions — with a hard cap so
+a saturated run cannot exhaust memory.  Traces make routing behavior
+inspectable ("which path did packet 17 actually take?"), power the
+path-replay assertions in the test suite, and serialize to JSON Lines
+(:meth:`TraceRecorder.to_jsonl`) so fault runs are replayable offline.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import IO, List, Union
+
+from repro.topology.channels import Channel
 
 __all__ = ["TraceEvent", "TraceRecorder"]
 
@@ -22,6 +27,13 @@ GRANTED = "granted"
 EJECT_GRANTED = "eject-granted"
 DELIVERED = "delivered"
 DEADLOCK = "deadlock"
+#: A scheduled link transition was applied; detail is (fail|heal, channel).
+FAULT = "fault"
+#: A casualty was discarded for good; detail is (src, dest).
+DROPPED = "dropped"
+#: A casualty was queued for source retransmission; detail is
+#: (src, dest, backoff delay in cycles).
+RETRANSMITTED = "retransmitted"
 
 
 @dataclass(frozen=True)
@@ -31,7 +43,8 @@ class TraceEvent:
     Attributes:
         cycle: simulation cycle of the event.
         kind: one of ``created``, ``injected``, ``granted``,
-            ``eject-granted``, ``delivered``, ``deadlock``.
+            ``eject-granted``, ``delivered``, ``deadlock``, ``fault``,
+            ``dropped``, ``retransmitted``.
         pid: packet id (-1 for network-wide events).
         detail: event-specific payload — the granted channel, the
             (source, destination) pair, etc.
@@ -44,6 +57,41 @@ class TraceEvent:
 
     def __str__(self) -> str:
         return f"[{self.cycle:6d}] #{self.pid} {self.kind} {self.detail or ''}"
+
+
+def _encode_detail(detail: object) -> object:
+    """A JSON-ready encoding of an event detail; inverse of
+    :func:`_decode_detail`.
+
+    Details are scalars, nodes/endpoint tuples, channels, or tuples
+    mixing those, so tuples and channels get tagged dict encodings and
+    everything else passes through as-is.
+    """
+    if isinstance(detail, Channel):
+        from repro.resilience.schedule import channel_to_dict
+
+        return {"__kind__": "channel", **channel_to_dict(detail)}
+    if isinstance(detail, tuple):
+        return {
+            "__kind__": "tuple",
+            "items": [_encode_detail(item) for item in detail],
+        }
+    return detail
+
+
+def _decode_detail(payload: object) -> object:
+    """Rebuild a detail saved by :func:`_encode_detail`."""
+    if isinstance(payload, dict):
+        kind = payload.get("__kind__")
+        if kind == "channel":
+            from repro.resilience.schedule import channel_from_dict
+
+            return channel_from_dict(payload)
+        if kind == "tuple":
+            return tuple(_decode_detail(item) for item in payload["items"])
+    if isinstance(payload, list):
+        return tuple(_decode_detail(item) for item in payload)
+    return payload
 
 
 class TraceRecorder:
@@ -86,3 +134,67 @@ class TraceRecorder:
 
     def __len__(self) -> int:
         return len(self.events)
+
+    # -- serialization -------------------------------------------------
+
+    def to_jsonl(self, path: Union[str, "IO[str]"]) -> None:
+        """Write the trace as JSON Lines; inverse of :meth:`from_jsonl`.
+
+        One event per line plus a leading header line recording the cap
+        and truncation flag, so an offline replay knows whether it is
+        looking at a complete run.
+
+        Args:
+            path: a file path, or an open text stream.
+        """
+        if hasattr(path, "write"):
+            self._write_jsonl(path)  # type: ignore[arg-type]
+            return
+        with open(path, "w", encoding="utf-8") as handle:
+            self._write_jsonl(handle)
+
+    def _write_jsonl(self, handle: "IO[str]") -> None:
+        header = {
+            "__kind__": "trace-header",
+            "max_events": self.max_events,
+            "truncated": self.truncated,
+            "events": len(self.events),
+        }
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for event in self.events:
+            record = {
+                "cycle": event.cycle,
+                "kind": event.kind,
+                "pid": event.pid,
+                "detail": _encode_detail(event.detail),
+            }
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, "IO[str]"]) -> "TraceRecorder":
+        """Rebuild a recorder saved by :meth:`to_jsonl`.
+
+        Round-trips events exactly (channels and tuples included), plus
+        the cap and truncation flag.
+        """
+        if hasattr(path, "read"):
+            lines = list(path)  # type: ignore[arg-type]
+        else:
+            with open(path, encoding="utf-8") as handle:
+                lines = list(handle)
+        rows = [json.loads(line) for line in lines if line.strip()]
+        if not rows or rows[0].get("__kind__") != "trace-header":
+            raise ValueError("not a trace JSONL file (missing header line)")
+        header = rows[0]
+        recorder = cls(max_events=int(header["max_events"]))
+        for row in rows[1:]:
+            recorder.events.append(
+                TraceEvent(
+                    cycle=int(row["cycle"]),
+                    kind=str(row["kind"]),
+                    pid=int(row["pid"]),
+                    detail=_decode_detail(row["detail"]),
+                )
+            )
+        recorder.truncated = bool(header["truncated"])
+        return recorder

@@ -35,6 +35,7 @@ from repro.verify.suite import (
     VerifyTarget,
     certify,
     default_targets,
+    recertify,
     verify_all,
     verify_target,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "check_livelock_freedom",
     "check_turn_minimum",
     "default_targets",
+    "recertify",
     "recheck_numbering_certificate",
     "verify_all",
     "verify_target",

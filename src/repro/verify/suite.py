@@ -47,6 +47,7 @@ __all__ = [
     "verify_target",
     "verify_all",
     "certify",
+    "recertify",
 ]
 
 #: Topology specs the registry sweep covers: 2D and 3D meshes, a
@@ -282,6 +283,40 @@ def certify(
             topology=topology,
             routing=routing,
         )
+    )
+    if not report.certified:
+        raise CertificationError(report)
+    return report
+
+
+def recertify(
+    topology: Topology,
+    routing: RoutingAlgorithm,
+    topology_label: str = "",
+) -> TargetReport:
+    """Re-certify a degraded (faulted) configuration mid-run.
+
+    The resilience subsystem's safety gate: every time a fault schedule
+    changes the live topology, the new configuration must be re-proved
+    deadlock-free before the simulation proceeds.  Only the
+    deadlock-freedom checker runs — connectivity loss under faults is
+    the quantity a resilience run *measures* (unroutable messages become
+    drops or retransmissions, not errors), and the remaining checkers
+    certify design-time properties a runtime fault cannot change.
+
+    Returns:
+        The (single-check) target report, when the proof succeeds.
+
+    Raises:
+        CertificationError: when the degraded configuration can deadlock.
+    """
+    label = topology_label or repr(topology)
+    report = TargetReport(
+        target=f"{label}/{routing.name}",
+        topology=label,
+        routing=routing.name,
+        expect="certified",
+        checks=(check_deadlock_freedom(topology, routing),),
     )
     if not report.certified:
         raise CertificationError(report)

@@ -1,0 +1,73 @@
+"""Tests for recovery policies and their registry."""
+
+import pytest
+
+from repro.resilience import (
+    AbortRun,
+    DropAndCount,
+    SourceRetransmit,
+    available_recovery_policies,
+    make_recovery_policy,
+)
+from repro.resilience.recovery import ABORT, DROP, RETRY
+
+
+class TestDropAndCount:
+    def test_always_drops(self):
+        policy = DropAndCount()
+        for attempt in (0, 1, 10):
+            assert policy.decide(attempt).action == DROP
+
+
+class TestSourceRetransmit:
+    def test_backoff_doubles_then_caps(self):
+        policy = SourceRetransmit(base_delay=8, delay_cap=64, max_attempts=10)
+        delays = [policy.decide(k).delay for k in range(6)]
+        assert delays == [8, 16, 32, 64, 64, 64]
+        assert all(policy.decide(k).action == RETRY for k in range(6))
+
+    def test_gives_up_after_max_attempts(self):
+        policy = SourceRetransmit(max_attempts=3)
+        assert policy.decide(2).action == RETRY
+        assert policy.decide(3).action == DROP
+        assert policy.decide(99).action == DROP
+
+    def test_huge_attempt_does_not_overflow(self):
+        policy = SourceRetransmit(
+            base_delay=8, delay_cap=512, max_attempts=10**9
+        )
+        assert policy.decide(10**6).delay == 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SourceRetransmit(base_delay=0)
+        with pytest.raises(ValueError):
+            SourceRetransmit(base_delay=16, delay_cap=8)
+        with pytest.raises(ValueError):
+            SourceRetransmit(max_attempts=0)
+
+
+class TestAbortRun:
+    def test_always_aborts(self):
+        assert AbortRun().decide(0).action == ABORT
+
+
+class TestRegistry:
+    def test_available_names(self):
+        assert available_recovery_policies() == ("abort", "drop", "retransmit")
+
+    def test_make_by_name(self):
+        assert isinstance(make_recovery_policy("drop"), DropAndCount)
+        assert isinstance(make_recovery_policy("abort"), AbortRun)
+        policy = make_recovery_policy(
+            "retransmit", base_delay=4, delay_cap=32, max_attempts=2
+        )
+        assert isinstance(policy, SourceRetransmit)
+        assert policy.decide(0).delay == 4
+
+    def test_name_canonicalized(self):
+        assert isinstance(make_recovery_policy("  Drop "), DropAndCount)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown recovery policy"):
+            make_recovery_policy("pray")

@@ -65,6 +65,17 @@ def _mesh6_west_first_transpose(**kw):
     return _open_sim(Mesh2D(6, 6), "west-first", "transpose", 0.30, seed=12, **kw)
 
 
+def _mesh6_west_first_nofault_resilience(**kw):
+    # The transpose scenario with an idle fault controller attached: the
+    # resilience hooks must be bit-invisible when the schedule is empty,
+    # so this digest must equal mesh6-west-first-transpose's exactly.
+    from repro.resilience import FaultController, FaultSchedule
+
+    return _mesh6_west_first_transpose(
+        resilience=FaultController(FaultSchedule(())), **kw
+    )
+
+
 def _mesh8_negative_first_saturated(**kw):
     return _open_sim(Mesh2D(8, 8), "negative-first", "uniform", 0.45, seed=13,
                      measure=1500, drain=500, **kw)
@@ -138,6 +149,7 @@ def _figure1_deadlock(**kw):
 GOLDEN_SCENARIOS = {
     "mesh6-xy-uniform-low": _mesh6_xy_low,
     "mesh6-west-first-transpose": _mesh6_west_first_transpose,
+    "mesh6-west-first-nofault-resilience": _mesh6_west_first_nofault_resilience,
     "mesh8-negative-first-saturated": _mesh8_negative_first_saturated,
     "cube5-pcube-uniform": _cube5_pcube,
     "torus44-dateline-vc": _torus44_dateline,

@@ -69,6 +69,17 @@ class TestGoldenDigests:
         assert result.deadlocked == fixtures[name]["deadlocked"]
 
 
+class TestNoFaultResilienceIdentity:
+    def test_idle_fault_controller_is_bit_invisible(self, runs):
+        # The engine's resilience hooks must not perturb a single bit of
+        # a run whose fault schedule is empty.
+        _, plain_trace, plain = runs["mesh6-west-first-transpose"]
+        _, guarded_trace, guarded = runs["mesh6-west-first-nofault-resilience"]
+        assert run_digest(guarded, guarded_trace) == run_digest(
+            plain, plain_trace
+        )
+
+
 class TestRunToRunDeterminism:
     def test_rebuilt_scenario_reproduces_itself(self):
         name = "mesh6-west-first-transpose"

@@ -93,6 +93,20 @@ class TestRecorderMechanics:
         assert len(recorder) == 3
         assert recorder.truncated
 
+    def test_cap_keeps_earliest_events(self):
+        recorder = TraceRecorder(max_events=2)
+        for i in range(4):
+            recorder.record(i, "granted", i)
+        assert [e.cycle for e in recorder.events] == [0, 1]
+        # Recording past the cap stays silent and bounded.
+        recorder.record(99, "delivered", 99)
+        assert len(recorder) == 2
+
+    def test_untruncated_below_cap(self):
+        recorder = TraceRecorder(max_events=10)
+        recorder.record(0, "created", 0)
+        assert not recorder.truncated
+
     def test_invalid_cap_rejected(self):
         with pytest.raises(ValueError):
             TraceRecorder(max_events=0)
@@ -101,3 +115,54 @@ class TestRecorderMechanics:
         recorder = TraceRecorder()
         recorder.record(12, "delivered", 7, (1, 1))
         assert "#7 delivered" in str(recorder.events[0])
+
+
+class TestJsonlRoundTrip:
+    def make_recorder(self):
+        mesh = Mesh2D(4, 4)
+        east = mesh.channel_in_direction((1, 1), EAST)
+        recorder = TraceRecorder(max_events=50)
+        recorder.record(3, "granted", 0, east)
+        recorder.record(7, "fault", -1, ("fail", east))
+        recorder.record(9, "retransmitted", 2, ((0, 0), (3, 3), 16))
+        recorder.record(11, "dropped", 4, ((1, 0), (2, 2)))
+        recorder.record(15, "delivered", 0, (2, 1))
+        return recorder, east
+
+    def test_round_trip_via_path(self, tmp_path):
+        recorder, east = self.make_recorder()
+        path = tmp_path / "trace.jsonl"
+        recorder.to_jsonl(str(path))
+        restored = TraceRecorder.from_jsonl(str(path))
+        assert restored.events == recorder.events
+        assert restored.max_events == recorder.max_events
+        assert restored.truncated == recorder.truncated
+        # Channel details come back as real Channel objects.
+        assert restored.events[0].detail == east
+        assert restored.events[1].detail == ("fail", east)
+
+    def test_round_trip_via_stream(self):
+        import io
+
+        recorder, _ = self.make_recorder()
+        buffer = io.StringIO()
+        recorder.to_jsonl(buffer)
+        buffer.seek(0)
+        restored = TraceRecorder.from_jsonl(buffer)
+        assert restored.events == recorder.events
+
+    def test_truncated_flag_survives(self, tmp_path):
+        recorder = TraceRecorder(max_events=1)
+        recorder.record(0, "created", 0)
+        recorder.record(1, "created", 1)
+        path = tmp_path / "trace.jsonl"
+        recorder.to_jsonl(str(path))
+        restored = TraceRecorder.from_jsonl(str(path))
+        assert restored.truncated
+        assert len(restored) == 1
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"cycle": 1, "kind": "created", "pid": 0}\n')
+        with pytest.raises(ValueError, match="header"):
+            TraceRecorder.from_jsonl(str(path))

@@ -164,3 +164,30 @@ class TestLoadsCommand:
         out = capsys.readouterr().out
         assert "saturation bound" in out
         assert "xy" in out and "negative-first" in out
+
+
+class TestResilienceCommand:
+    def test_small_fault_sweep(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "res.json"
+        code = main([
+            "resilience", "--topology", "mesh:4x4",
+            "--algorithm", "xy", "west-first-nonminimal",
+            "--pattern", "uniform", "--load", "0.05",
+            "--faults", "0", "2",
+            "--warmup", "100", "--measure", "600", "--drain", "300",
+            "--out", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delivered fraction" in out
+        assert "west-first-nonminimal" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["topology"] == "mesh:4x4"
+        assert payload["fault_counts"] == [0, 2]
+        cells = payload["cells"]
+        assert {c["algorithm"] for c in cells} == {"xy", "west-first-nonminimal"}
+        for cell in cells:
+            if cell["fault_count"]:
+                assert cell["resilience"]["recertifications"] > 0

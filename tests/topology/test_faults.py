@@ -7,6 +7,7 @@ from repro.core.directions import EAST, WEST
 from repro.routing import TurnRestrictionRouting, make_routing
 from repro.core.restrictions import west_first_restriction
 from repro.topology import FaultyTopology, Mesh2D, random_channel_faults
+from repro.topology.faults import is_strongly_connected
 
 
 class TestFaultyTopology:
@@ -45,6 +46,71 @@ class TestFaultyTopology:
     def test_too_many_faults_rejected(self, mesh44):
         with pytest.raises(ValueError):
             random_channel_faults(mesh44, mesh44.num_channels + 1)
+
+    def test_duplicate_fault_collapses(self, mesh44):
+        # Failing the same channel twice is one fault, not an error.
+        east = mesh44.channel_in_direction((1, 1), EAST)
+        faulty = FaultyTopology(mesh44, [east, east])
+        assert faulty.failed == frozenset([east])
+        assert faulty.num_channels == mesh44.num_channels - 1
+
+    def test_node_with_all_out_channels_failed(self, mesh44):
+        # A node whose every out-channel is dead can still receive but
+        # never send: it becomes a sink, and the network is no longer
+        # strongly connected.
+        dead = mesh44.out_channels((1, 1))
+        faulty = FaultyTopology(mesh44, dead)
+        assert faulty.out_channels((1, 1)) == ()
+        assert any(ch.dst == (1, 1) for ch in faulty.channels())
+        assert not is_strongly_connected(faulty)
+
+
+class TestConnectivity:
+    def test_healthy_mesh_strongly_connected(self, mesh44):
+        assert is_strongly_connected(mesh44)
+
+    def test_unconstrained_sampling_may_disconnect(self, mesh44):
+        # With require_connected off (the default), isolating a node is a
+        # legitimate outcome — found by scanning seeds for a draw that
+        # kills all of a node's out-channels.
+        faulty = None
+        for seed in range(200):
+            candidate = random_channel_faults(mesh44, 8, seed=seed)
+            if not is_strongly_connected(candidate):
+                faulty = candidate
+                break
+        assert faulty is not None, "no disconnecting sample in 200 seeds"
+
+    def test_require_connected_keeps_connectivity(self, mesh44):
+        for seed in range(20):
+            faulty = random_channel_faults(
+                mesh44, 8, seed=seed, require_connected=True
+            )
+            assert len(faulty.failed) == 8
+            assert is_strongly_connected(faulty)
+
+    def test_require_connected_matches_unconstrained_when_first_draw_ok(
+        self, mesh44
+    ):
+        # The first draw is exactly rng.sample, so when it already leaves
+        # the mesh connected the two modes agree — historical fault sets
+        # for a seed are unchanged by the new option.
+        for seed in range(20):
+            plain = random_channel_faults(mesh44, 3, seed=seed)
+            if not is_strongly_connected(plain):
+                continue
+            constrained = random_channel_faults(
+                mesh44, 3, seed=seed, require_connected=True
+            )
+            assert constrained.failed == plain.failed
+
+    def test_require_connected_impossible_raises(self, mesh44):
+        # Failing all but one channel always disconnects a 4x4 mesh.
+        count = mesh44.num_channels - 1
+        with pytest.raises(ValueError, match="strongly"):
+            random_channel_faults(
+                mesh44, count, seed=0, require_connected=True, max_attempts=5
+            )
 
 
 class TestRoutingUnderFaults:
