@@ -21,10 +21,10 @@ the sources exist):
    reports and legends would otherwise label the algorithm differently
    than the CLI spells it.
 
-4. Every module under ``src/repro/routing/``, ``src/repro/core/``, and
-   ``src/repro/verify/`` defines ``__all__``, every public top-level
-   class/function appears in it, and every listed name actually exists
-   at module top level.
+4. Every module under ``src/repro/routing/``, ``src/repro/core/``,
+   ``src/repro/verify/``, and ``src/repro/obs/`` defines ``__all__``,
+   every public top-level class/function appears in it, and every
+   listed name actually exists at module top level.
 
 Exit status 0 when clean, 1 with one line per violation otherwise.
 """
@@ -38,7 +38,7 @@ from typing import Dict, List, Optional, Set
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src" / "repro"
-LINTED_PACKAGES = ("routing", "core", "verify")
+LINTED_PACKAGES = ("routing", "core", "verify", "obs")
 
 
 def canonical_name(name: str) -> str:

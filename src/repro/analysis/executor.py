@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Sequence, TextIO, Tuple, Union
 
+from repro.obs.spec import ObsSpec
 from repro.routing.base import RoutingAlgorithm
 from repro.routing.registry import canonical_name, make_routing
 from repro.routing.selection import make_input_policy, make_output_policy
@@ -56,6 +57,7 @@ __all__ = [
     "PointSpec",
     "PointOutcome",
     "ResolvedSpec",
+    "RunResult",
     "resolve_spec",
     "run_spec",
     "ExecutorHooks",
@@ -216,6 +218,12 @@ class ExperimentSpec:
             default) is omitted from the serialized form entirely, so
             every pre-existing spec hash — and every archived cache
             entry — is unchanged by the field's existence.
+        obs: optional observability collection
+            (:class:`~repro.obs.spec.ObsSpec`).  Omitted from the
+            serialized form when ``None``, exactly like ``resilience``,
+            so enabling metrics never perturbs existing hashes — and
+            because collection is bit-invisible, an obs-enabled run's
+            *result* is identical to the plain run's.
 
     Names are canonicalized on construction, so specs built from alias
     spellings (``"negative_first"``) hash identically to the canonical
@@ -230,6 +238,7 @@ class ExperimentSpec:
     config: ConfigSpec = field(default_factory=ConfigSpec)
     seed: int = 1
     resilience: Optional[ResilienceSpec] = None
+    obs: Optional[ObsSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "topology", self.topology.strip().lower())
@@ -247,10 +256,10 @@ class ExperimentSpec:
     def to_dict(self) -> dict:
         """A JSON-ready dict; inverse of :meth:`from_dict`.
 
-        A ``None`` resilience field is dropped from the payload, keeping
-        the serialization — and therefore every content hash and cache
-        key minted before the field existed — byte-identical for
-        fault-free specs.
+        ``None`` resilience and obs fields are dropped from the
+        payload, keeping the serialization — and therefore every
+        content hash and cache key minted before these fields existed —
+        byte-identical for plain specs.
         """
         payload = dataclasses.asdict(self)
         payload["sizes"] = [list(pair) for pair in self.sizes]
@@ -260,6 +269,8 @@ class ExperimentSpec:
             window = payload["resilience"]["window"]
             if window is not None:
                 payload["resilience"]["window"] = list(window)
+        if self.obs is None:
+            del payload["obs"]
         return payload
 
     @classmethod
@@ -271,6 +282,9 @@ class ExperimentSpec:
         resilience = payload.get("resilience")
         if resilience is not None:
             payload["resilience"] = ResilienceSpec(**resilience)
+        obs = payload.get("obs")
+        if obs is not None:
+            payload["obs"] = ObsSpec(**obs)
         return cls(**payload)
 
     def canonical_json(self) -> str:
@@ -300,17 +314,33 @@ class ExperimentSpec:
 
     def run(self) -> SimulationResult:
         """Simulate this point and return its result."""
-        return self.run_detailed()[0]
+        return self.run_full().result
 
     def run_detailed(self) -> Tuple[SimulationResult, Optional[dict]]:
         """Simulate this point, returning the result and (for points
         with a resilience spec) the fault run's stats summary.
 
+        Retained for callers that predate :meth:`run_full`, which also
+        surfaces the obs metrics summary.
+        """
+        full = self.run_full()
+        return full.result, full.resilience
+
+    def run_full(self) -> "RunResult":
+        """Simulate this point and return everything it produced.
+
         Fault-free points take exactly the historical :func:`simulate`
         path; the resilience machinery is imported — and the controller
-        built — only when the spec asks for it.
+        built — only when the spec asks for it.  Likewise the metrics
+        collector exists only when ``obs`` is set, and its presence is
+        bit-invisible to the result.
         """
         resolved = self.resolve()
+        collector = None
+        if self.obs is not None:
+            from repro.obs.metrics import MetricsCollector
+
+            collector = MetricsCollector(self.obs)
         if self.resilience is None:
             result = simulate(
                 resolved.topology,
@@ -320,8 +350,13 @@ class ExperimentSpec:
                 sizes=resolved.sizes,
                 config=resolved.config,
                 seed=self.seed,
+                obs=collector,
             )
-            return result, None
+            return RunResult(
+                spec=self,
+                result=result,
+                metrics=collector.summary() if collector is not None else None,
+            )
         from repro.resilience.controller import build_controller
         from repro.sim.engine import WormholeSimulator
         from repro.traffic.workload import Workload
@@ -336,10 +371,19 @@ class ExperimentSpec:
             seed=self.seed,
         )
         simulator = WormholeSimulator(
-            resolved.routing, workload, resolved.config, resilience=controller
+            resolved.routing,
+            workload,
+            resolved.config,
+            resilience=controller,
+            obs=collector,
         )
         result = simulator.run()
-        return result, controller.stats.summary()
+        return RunResult(
+            spec=self,
+            result=result,
+            resilience=controller.stats.summary(),
+            metrics=collector.summary() if collector is not None else None,
+        )
 
 
 @dataclass(frozen=True)
@@ -370,6 +414,36 @@ def run_spec(spec: ExperimentSpec) -> SimulationResult:
 
 
 @dataclass(frozen=True)
+class RunResult:
+    """Everything one simulated point produced.
+
+    The return type of :meth:`ExperimentSpec.run_full` and of the
+    :func:`repro.api.run` facade: the headline
+    :class:`~repro.sim.stats.SimulationResult` plus the optional
+    sidecars — the resilience ledger for faulted runs and the obs
+    metrics summary for instrumented ones — and, when the point went
+    through an executor, its cache provenance.
+
+    Attributes:
+        spec: the spec that was run.
+        result: the simulation result.
+        resilience: fault-run ledger summary; ``None`` for plain runs.
+        metrics: obs metrics summary
+            (:meth:`repro.obs.metrics.MetricsCollector.summary`);
+            ``None`` when collection was off.
+        cached: whether the result came from a result cache.
+        wall_time_s: seconds the simulation took (0.0 for cache hits).
+    """
+
+    spec: ExperimentSpec
+    result: SimulationResult
+    resilience: Optional[dict] = None
+    metrics: Optional[dict] = None
+    cached: bool = False
+    wall_time_s: float = 0.0
+
+
+@dataclass(frozen=True)
 class PointSpec:
     """One executor job: a spec plus routing metadata.
 
@@ -397,6 +471,9 @@ class PointOutcome:
         resilience: the fault run's stats summary (delivered/dropped
             fractions, detours, recovery latency); ``None`` for points
             without a resilience spec.
+        metrics: the obs metrics summary; ``None`` for points without
+            an obs spec (and for cache entries stored before metrics
+            existed).
     """
 
     point: PointSpec
@@ -404,6 +481,7 @@ class PointOutcome:
     wall_time_s: float
     cached: bool
     resilience: Optional[dict] = None
+    metrics: Optional[dict] = None
 
 
 @dataclass
@@ -503,7 +581,19 @@ class ResultCache:
         """The cached (result, resilience summary), or ``None`` on a
         miss or a corrupt entry.  The summary is ``None`` for entries
         stored without one (fault-free points, and all pre-resilience
-        archives)."""
+        archives).  :meth:`load_entry` additionally surfaces the obs
+        metrics summary."""
+        entry = self.load_entry(spec)
+        if entry is None:
+            return None
+        return entry[0], entry[1]
+
+    def load_entry(
+        self, spec: ExperimentSpec
+    ) -> Optional[Tuple[SimulationResult, Optional[dict], Optional[dict]]]:
+        """The cached (result, resilience summary, obs metrics summary),
+        or ``None`` on a miss or a corrupt entry.  Either summary is
+        ``None`` when the entry was stored without it."""
         from repro.analysis.results_io import result_from_dict
 
         path = self.path_for(spec)
@@ -518,15 +608,22 @@ class ResultCache:
         except (KeyError, TypeError, ValueError):
             return None
         extras = payload.get("resilience")
-        return result, extras if isinstance(extras, dict) else None
+        metrics = payload.get("obs")
+        return (
+            result,
+            extras if isinstance(extras, dict) else None,
+            metrics if isinstance(metrics, dict) else None,
+        )
 
     def store(
         self,
         spec: ExperimentSpec,
         result: SimulationResult,
         extras: Optional[dict] = None,
+        metrics: Optional[dict] = None,
     ) -> None:
-        """Persist one result (plus any resilience summary) atomically."""
+        """Persist one result (plus any resilience summary and obs
+        metrics summary) atomically."""
         from repro.analysis.results_io import result_to_dict
 
         path = self.path_for(spec)
@@ -537,6 +634,8 @@ class ResultCache:
         }
         if extras is not None:
             payload["resilience"] = extras
+        if metrics is not None:
+            payload["obs"] = metrics
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
         os.replace(tmp, path)
@@ -547,14 +646,17 @@ class ResultCache:
 
 def _run_point_job(
     spec: ExperimentSpec,
-) -> Tuple[SimulationResult, Optional[dict], float]:
+) -> Tuple[SimulationResult, Optional[dict], Optional[dict], float]:
     """Worker entry point: simulate one spec, timing it.
 
     Module-level so it pickles under every multiprocessing start method.
+    Returns (result, resilience summary, obs metrics summary, seconds).
     """
     started = time.perf_counter()
-    result, extras = spec.run_detailed()
-    return result, extras, time.perf_counter() - started
+    full = spec.run_full()
+    return full.result, full.resilience, full.metrics, (
+        time.perf_counter() - started
+    )
 
 
 class SweepExecutor:
@@ -567,6 +669,12 @@ class SweepExecutor:
         cache_dir: directory for the on-disk result cache; ``None``
             disables caching.
         hooks: progress callbacks; defaults to silent.
+        manifest_dir: directory to write one structured run manifest
+            per completed point (spec hash, git describe, timings,
+            certification verdict, resilience ledger, metric
+            summaries — see :mod:`repro.obs.manifest`); ``None``
+            disables manifests.  Cache hits write manifests too,
+            marked ``cached``.
         require_certification: statically certify every unique
             ``(topology, routing)`` pair before launching its points —
             deadlock freedom, connectivity, and livelock freedom per
@@ -587,6 +695,7 @@ class SweepExecutor:
         cache_dir: Optional[Union[str, Path]] = None,
         hooks: Optional[ExecutorHooks] = None,
         require_certification: bool = False,
+        manifest_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -595,6 +704,11 @@ class SweepExecutor:
         self.hooks = hooks if hooks is not None else ExecutorHooks()
         self.last_metrics: Optional[ExecutorMetrics] = None
         self.require_certification = require_certification
+        self.manifest_dir = Path(manifest_dir) if manifest_dir else None
+        # git describe is stable for the process lifetime; resolve it
+        # once rather than forking git per manifest.
+        self._git_version: Optional[str] = None
+        self._git_resolved = False
         self._certified: set = set()
 
     # -- certification gate -------------------------------------------
@@ -660,20 +774,53 @@ class SweepExecutor:
         self.last_metrics = metrics
         self.hooks.on_run_end(metrics)
 
+    def _write_manifest(self, outcome: PointOutcome) -> None:
+        """Persist one point's structured run manifest (if enabled)."""
+        if self.manifest_dir is None:
+            return
+        from repro.obs.manifest import build_manifest, git_describe, write_manifest
+
+        if not self._git_resolved:
+            self._git_version = git_describe()
+            self._git_resolved = True
+        point = outcome.point
+        certification = {
+            "required": self.require_certification,
+            "certified": (
+                (point.spec.topology, point.spec.routing) in self._certified
+            ),
+        }
+        manifest = build_manifest(
+            spec=point.spec,
+            result=outcome.result,
+            wall_time_s=outcome.wall_time_s,
+            cached=outcome.cached,
+            resilience=outcome.resilience,
+            metrics=outcome.metrics,
+            certification=certification,
+            series=point.series,
+            index=point.index,
+            git_version=self._git_version,
+        )
+        write_manifest(manifest, self.manifest_dir)
+
     def _from_cache(
         self, point: PointSpec, metrics: ExecutorMetrics
     ) -> Optional[PointOutcome]:
         cached = (
-            self.cache.load_with_extras(point.spec)
+            self.cache.load_entry(point.spec)
             if self.cache is not None
             else None
         )
         if cached is None:
             return None
-        result, extras = cached
-        outcome = PointOutcome(point, result, 0.0, True, resilience=extras)
+        result, extras, obs_metrics = cached
+        outcome = PointOutcome(
+            point, result, 0.0, True, resilience=extras, metrics=obs_metrics
+        )
         metrics.cache_hits += 1
         metrics.points_completed += 1
+        self._write_manifest(outcome)
         self.hooks.on_point_done(outcome)
         return outcome
 
@@ -684,13 +831,18 @@ class SweepExecutor:
         wall_time: float,
         metrics: ExecutorMetrics,
         extras: Optional[dict] = None,
+        obs_metrics: Optional[dict] = None,
     ) -> PointOutcome:
         if self.cache is not None:
-            self.cache.store(point.spec, result, extras=extras)
-        outcome = PointOutcome(point, result, wall_time, False, resilience=extras)
+            self.cache.store(point.spec, result, extras=extras, metrics=obs_metrics)
+        outcome = PointOutcome(
+            point, result, wall_time, False,
+            resilience=extras, metrics=obs_metrics,
+        )
         metrics.simulated += 1
         metrics.points_completed += 1
         metrics.cycles_simulated += point.spec.config.total_cycles
+        self._write_manifest(outcome)
         self.hooks.on_point_done(outcome)
         return outcome
 
@@ -702,8 +854,10 @@ class SweepExecutor:
         if outcome is not None:
             return outcome
         self.hooks.on_point_start(point)
-        result, extras, wall_time = _run_point_job(point.spec)
-        return self._complete_fresh(point, result, wall_time, metrics, extras)
+        result, extras, obs_metrics, wall_time = _run_point_job(point.spec)
+        return self._complete_fresh(
+            point, result, wall_time, metrics, extras, obs_metrics
+        )
 
     def _run_parallel(
         self,
@@ -723,9 +877,10 @@ class SweepExecutor:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     i = futures[future]
-                    result, extras, wall_time = future.result()
+                    result, extras, obs_metrics, wall_time = future.result()
                     outcomes[i] = self._complete_fresh(
-                        points[i], result, wall_time, metrics, extras
+                        points[i], result, wall_time, metrics, extras,
+                        obs_metrics,
                     )
 
     # -- conveniences -------------------------------------------------
@@ -747,6 +902,7 @@ class SweepExecutor:
         sizes: SizeDistribution = PAPER_SIZES,
         seed: int = 1,
         stop_after_saturation: int = 1,
+        obs: Optional[ObsSpec] = None,
     ):
         """Measure one latency-throughput curve through the executor.
 
@@ -757,6 +913,9 @@ class SweepExecutor:
         (lazy, exactly like the serial loop); with ``jobs > 1`` all
         loads are dispatched up front and the curve is truncated
         afterwards — per-point values are identical either way.
+
+        With ``obs`` set, every point collects metrics (bit-invisible
+        to its result); pair with ``manifest_dir`` to persist them.
 
         Returns:
             The measured :class:`~repro.analysis.sweep.SweepSeries`.
@@ -778,6 +937,7 @@ class SweepExecutor:
             sizes=sizes.choices,
             config=ConfigSpec.from_config(config),
             seed=seed,
+            obs=obs,
         )
         # Resolve once for the display names the series carries (the
         # registry may label an algorithm differently than its key).

@@ -4,24 +4,33 @@ Programmatic users should import from here rather than from individual
 submodules (and especially not from :mod:`repro.cli`); this facade is
 what stays stable as the internals are resharded for scale.
 
-Describe an experiment as data, then run it::
+The single entry point is :func:`run`.  Give it a spec, or name the
+point inline with keywords; either way it returns a
+:class:`~repro.analysis.executor.RunResult` carrying the simulation
+result plus the optional sidecars (resilience ledger, obs metrics)::
 
-    from repro.api import ExperimentSpec, SweepExecutor
+    from repro.api import ObsSpec, run
 
-    spec = ExperimentSpec(topology="mesh:16x16", routing="negative-first",
-                          pattern="transpose", load=0.2)
-    result = spec.run()                      # one point, in-process
+    out = run(topology="mesh:16x16", routing="negative-first",
+              pattern="transpose", load=0.2, obs=True)
+    print(out.result.avg_latency_cycles)
+    print(out.metrics["counters"])          # bit-invisible sampling
 
-    executor = SweepExecutor(jobs=4, cache_dir=".sweep-cache")
-    series = executor.sweep("mesh:16x16", "negative-first", "transpose",
-                            loads=[0.05, 0.1, 0.2, 0.3, 0.4])
+    spec = out.spec                          # reusable, hashable
+    again = run(spec, cache_dir=".sweep-cache")   # cached re-run
 
-or use the classic conveniences (``simulate``, ``sweep_loads``), which
-accept both live objects and names/spec strings.  See
-``docs/experiments_api.md`` for the full tour.
+Sweeps and fault sweeps keep their dedicated drivers
+(:meth:`SweepExecutor.sweep`, :func:`fault_sweep`), both reachable from
+here.  The pre-facade entry points (``simulate``, ``sweep_loads``,
+``run_spec``) still work but emit :class:`DeprecationWarning`; see
+``docs/experiments_api.md`` for the migration table.
 """
 
 from __future__ import annotations
+
+import dataclasses
+import warnings
+from typing import Optional, Sequence, Tuple, Union
 
 from repro.analysis.executor import (
     ConfigSpec,
@@ -34,10 +43,22 @@ from repro.analysis.executor import (
     ResilienceSpec,
     ResolvedSpec,
     ResultCache,
+    RunResult,
     SweepExecutor,
     resolve_spec,
-    run_spec,
 )
+from repro.analysis.executor import run_spec as _run_spec
+from repro.analysis.sweep import (
+    SweepPoint,
+    SweepSeries,
+    default_loads,
+    truncate_at_saturation,
+)
+from repro.analysis.sweep import sweep_loads as _sweep_loads
+from repro.obs.manifest import build_manifest, load_manifest, write_manifest
+from repro.obs.metrics import MetricsCollector
+from repro.obs.report import render_manifest_report
+from repro.obs.spec import ObsSpec
 from repro.resilience import (
     FaultController,
     FaultSchedule,
@@ -45,13 +66,7 @@ from repro.resilience import (
     fault_sweep,
     render_fault_table,
 )
-from repro.analysis.sweep import (
-    SweepPoint,
-    SweepSeries,
-    default_loads,
-    sweep_loads,
-    truncate_at_saturation,
-)
+from repro.routing.base import RoutingAlgorithm
 from repro.routing.registry import (
     UnknownNameError,
     available_algorithms,
@@ -59,20 +74,25 @@ from repro.routing.registry import (
     make_routing,
 )
 from repro.sim.config import SimulationConfig
-from repro.sim.simulator import simulate
+from repro.sim.simulator import simulate as _simulate
 from repro.sim.stats import SimulationResult
+from repro.topology.base import Topology
 from repro.topology.spec import parse_topology, topology_spec
 from repro.traffic.permutations import available_patterns, make_pattern
 from repro.traffic.workload import PAPER_SIZES, SizeDistribution
 
 __all__ = [
+    # The facade.
+    "run",
+    "RunResult",
     # Experiment descriptions.
     "ExperimentSpec",
     "ConfigSpec",
+    "ResilienceSpec",
+    "ObsSpec",
     "PointSpec",
     "ResolvedSpec",
     "resolve_spec",
-    "run_spec",
     # Execution engine.
     "SweepExecutor",
     "ResultCache",
@@ -80,22 +100,25 @@ __all__ = [
     "ExecutorMetrics",
     "ProgressPrinter",
     "PointOutcome",
-    # Classic conveniences.
-    "simulate",
-    "sweep_loads",
+    # Observability.
+    "MetricsCollector",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "render_manifest_report",
+    # Runtime fault injection.
+    "FaultSchedule",
+    "FaultController",
+    "fault_sweep",
+    "FaultSweepResult",
+    "render_fault_table",
+    # Sweep vocabulary.
     "default_loads",
     "truncate_at_saturation",
     "SweepPoint",
     "SweepSeries",
     "SimulationConfig",
     "SimulationResult",
-    # Runtime fault injection.
-    "ResilienceSpec",
-    "FaultSchedule",
-    "FaultController",
-    "fault_sweep",
-    "FaultSweepResult",
-    "render_fault_table",
     # Registries and specs.
     "make_routing",
     "available_algorithms",
@@ -108,4 +131,209 @@ __all__ = [
     # Workload sizing.
     "PAPER_SIZES",
     "SizeDistribution",
+    # Deprecated shims (DeprecationWarning; kept one release for
+    # migration).
+    "simulate",
+    "sweep_loads",
+    "run_spec",
 ]
+
+_UNSET = object()
+
+
+def _coerce_sizes(
+    sizes: Union[SizeDistribution, Sequence[Tuple[int, float]], None],
+) -> Tuple[Tuple[int, float], ...]:
+    if sizes is None:
+        return PAPER_SIZES.choices
+    if isinstance(sizes, SizeDistribution):
+        return sizes.choices
+    return tuple((int(s), float(p)) for s, p in sizes)
+
+
+def _coerce_config(
+    config: Union[SimulationConfig, ConfigSpec, None],
+) -> ConfigSpec:
+    if config is None:
+        return ConfigSpec()
+    if isinstance(config, ConfigSpec):
+        return config
+    return ConfigSpec.from_config(config)
+
+
+def _coerce_obs(obs: Union[ObsSpec, bool, None]) -> Optional[ObsSpec]:
+    if obs is None or obs is False:
+        return None
+    if obs is True:
+        return ObsSpec()
+    return obs
+
+
+def run(
+    spec: Optional[ExperimentSpec] = None,
+    *,
+    topology: Union[str, Topology, None] = None,
+    routing: Union[str, RoutingAlgorithm, None] = None,
+    pattern: Optional[str] = None,
+    load: Optional[float] = None,
+    sizes: Union[SizeDistribution, Sequence[Tuple[int, float]], None] = None,
+    config: Union[SimulationConfig, ConfigSpec, None] = None,
+    seed: int = 1,
+    resilience: Optional[ResilienceSpec] = None,
+    obs: Union[ObsSpec, bool, None] = None,
+    cache_dir: Optional[str] = None,
+    manifest_dir: Optional[str] = None,
+) -> RunResult:
+    """Run one simulation point and return everything it produced.
+
+    The facade over every run path: plain, faulted (``resilience``),
+    instrumented (``obs``), cached (``cache_dir``), and manifest-writing
+    (``manifest_dir``) — all combinations return the same
+    :class:`RunResult` shape.
+
+    Describe the point either with a ready-made
+    :class:`ExperimentSpec`::
+
+        run(spec)
+        run(spec, obs=True, cache_dir=".cache")
+
+    or inline with keywords (all arguments besides ``spec`` are
+    keyword-only)::
+
+        run(topology="mesh:16x16", routing="west-first",
+            pattern="uniform", load=0.1, seed=3)
+
+    Args:
+        spec: a complete point description; mutually exclusive with
+            ``topology``/``routing``/``pattern``/``load``/``sizes``/
+            ``config``/``seed``.  ``resilience`` and ``obs`` may still
+            be given to override the spec's own settings.
+        topology: topology instance or spec string (``"mesh:16x16"``).
+        routing: routing algorithm instance or registry name.
+        pattern: traffic pattern registry name.
+        load: offered load in flits per node per cycle.
+        sizes: packet-size distribution (defaults to the paper's mix).
+        config: a :class:`SimulationConfig` or :class:`ConfigSpec`.
+        seed: workload RNG seed.
+        resilience: optional runtime fault injection spec.
+        obs: observability — ``True`` for default collection, or an
+            :class:`ObsSpec` for tuned knobs.  Bit-invisible to the
+            result.
+        cache_dir: reuse/populate an on-disk result cache.
+        manifest_dir: write a structured run manifest for the point.
+
+    Returns:
+        The point's :class:`RunResult` (result plus resilience ledger,
+        metrics summary, and cache provenance).
+    """
+    if spec is not None:
+        if not isinstance(spec, ExperimentSpec):
+            raise TypeError(
+                "run() takes an ExperimentSpec positionally; name the "
+                "point with keyword arguments instead "
+                "(run(topology=..., routing=..., ...))"
+            )
+        named = {
+            "topology": topology,
+            "routing": routing,
+            "pattern": pattern,
+            "load": load,
+            "sizes": sizes,
+            "config": config,
+        }
+        clashing = sorted(name for name, value in named.items() if value is not None)
+        if clashing or seed != 1:
+            clashing = clashing or ["seed"]
+            raise TypeError(
+                f"run() got both a spec and point fields {clashing}; "
+                "use dataclasses.replace(spec, ...) to vary a spec"
+            )
+        if resilience is not None:
+            spec = dataclasses.replace(spec, resilience=resilience)
+        if obs is not None:
+            spec = dataclasses.replace(spec, obs=_coerce_obs(obs))
+    else:
+        missing = [
+            name
+            for name, value in (
+                ("topology", topology),
+                ("routing", routing),
+                ("pattern", pattern),
+                ("load", load),
+            )
+            if value is None
+        ]
+        if missing:
+            raise TypeError(
+                f"run() needs a spec or the point fields {missing}"
+            )
+        if isinstance(topology, Topology):
+            topology = topology_spec(topology)
+        if isinstance(routing, RoutingAlgorithm):
+            routing = routing.name
+        assert topology is not None and routing is not None
+        assert pattern is not None and load is not None
+        spec = ExperimentSpec(
+            topology=topology,
+            routing=routing,
+            pattern=pattern,
+            load=float(load),
+            sizes=_coerce_sizes(sizes),
+            config=_coerce_config(config),
+            seed=seed,
+            resilience=resilience,
+            obs=_coerce_obs(obs),
+        )
+
+    if cache_dir is None and manifest_dir is None:
+        return spec.run_full()
+    executor = SweepExecutor(
+        jobs=1, cache_dir=cache_dir, manifest_dir=manifest_dir
+    )
+    (outcome,) = executor.run_points([PointSpec(spec=spec)])
+    return RunResult(
+        spec=spec,
+        result=outcome.result,
+        resilience=outcome.resilience,
+        metrics=outcome.metrics,
+        cached=outcome.cached,
+        wall_time_s=outcome.wall_time_s,
+    )
+
+
+def _deprecated(old: str, use: str) -> None:
+    warnings.warn(
+        f"repro.api.{old} is deprecated; use {use} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def simulate(*args, **kwargs) -> SimulationResult:
+    """Deprecated alias for :func:`repro.sim.simulator.simulate`.
+
+    Use :func:`run` (which returns a :class:`RunResult`; its ``result``
+    field is what this returned).  Forwards unchanged in the meantime.
+    """
+    _deprecated("simulate", "repro.api.run(...)")
+    return _simulate(*args, **kwargs)
+
+
+def sweep_loads(*args, **kwargs) -> SweepSeries:
+    """Deprecated alias for :func:`repro.analysis.sweep.sweep_loads`.
+
+    Use :meth:`SweepExecutor.sweep`, which adds caching, parallelism,
+    certification, and manifests.  Forwards unchanged in the meantime.
+    """
+    _deprecated("sweep_loads", "SweepExecutor().sweep(...)")
+    return _sweep_loads(*args, **kwargs)
+
+
+def run_spec(spec: ExperimentSpec) -> SimulationResult:
+    """Deprecated alias for :meth:`ExperimentSpec.run`.
+
+    Use :func:`run`, which returns the full :class:`RunResult`; this
+    returned only the bare :class:`SimulationResult`.
+    """
+    _deprecated("run_spec", "repro.api.run(spec).result")
+    return _run_spec(spec)

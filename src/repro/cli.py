@@ -12,7 +12,15 @@ Subcommands::
     turnmodel deadlock --figure 1       # watch an unsafe algorithm deadlock
     turnmodel verify --all              # statically certify every algorithm
     turnmodel bench --quick             # engine cycles/sec benchmark
+    turnmodel report runs/manifest-*.json   # metrics report from manifests
     turnmodel list                      # available algorithms and patterns
+
+``simulate``, ``sweep``, and ``resilience`` accept ``--obs`` to collect
+bit-invisible channel/latency/timeline metrics; with ``--manifest-dir``
+each point also writes a structured run manifest that ``report`` renders
+later.  Every ``--out`` JSON artifact carries the shared envelope
+(``schema_version``/``tool``/``spec_hash``; see
+``docs/observability.md``).
 
 This module is the argument-parsing shell only; programmatic users
 should import from :mod:`repro.api` (``parse_topology`` is re-exported
@@ -84,6 +92,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_spec_for_windows(warmup: int, measure: int, drain: int):
+    from repro.experiments.presets import _preset_obs_spec
+
+    return _preset_obs_spec(warmup + measure + drain)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     topology = parse_topology(args.topology)
     config = SimulationConfig(
@@ -92,6 +106,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         drain_cycles=args.drain,
         buffer_depth=args.buffer_depth,
     )
+    collector = None
+    if args.obs:
+        from repro.obs.metrics import MetricsCollector
+
+        collector = MetricsCollector(
+            _obs_spec_for_windows(args.warmup, args.measure, args.drain)
+        )
     result = simulate(
         topology,
         args.algorithm,
@@ -99,11 +120,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         offered_load=args.load,
         config=config,
         seed=args.seed,
+        obs=collector,
     )
     print(result.summary())
     print(f"  avg hops:        {result.avg_hops:.2f}")
     print(f"  queue delay:     {result.avg_queue_delay_cycles:.1f} cycles")
     print(f"  injected/done:   {result.total_injected}/{result.total_delivered}")
+    if collector is not None:
+        from repro.obs.report import render_channel_heatmap, render_timeline_table
+
+        summary = collector.summary()
+        if summary["channels"] is not None:
+            print()
+            print(render_channel_heatmap(summary["channels"]))
+        if summary["timeline"] is not None:
+            print()
+            print(render_timeline_table(summary["timeline"]))
     return 0
 
 
@@ -111,7 +143,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.executor import ProgressPrinter, SweepExecutor
     from repro.analysis.report import render_series_table
     from repro.analysis.sweep import default_loads
-    from repro.analysis.results_io import save_json, sweep_run_to_dict
+    from repro.analysis.results_io import sweep_run_to_dict
 
     if args.loads:
         loads = args.loads
@@ -123,12 +155,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         drain_cycles=args.drain,
         buffer_depth=args.buffer_depth,
     )
+    obs = (
+        _obs_spec_for_windows(args.warmup, args.measure, args.drain)
+        if args.obs
+        else None
+    )
     hooks = ProgressPrinter() if args.progress else None
     executor = SweepExecutor(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         hooks=hooks,
         require_certification=args.certify,
+        manifest_dir=args.manifest_dir,
     )
     series_list = []
     for algorithm in args.algorithm:
@@ -140,11 +178,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             config=config,
             seed=args.seed,
             stop_after_saturation=args.stop_after_saturation,
+            obs=obs,
         )
         series_list.append(series)
         print(render_series_table(series))
         print()
     if args.out:
+        from repro.obs.envelope import save_envelope
+
         payload = sweep_run_to_dict(
             series_list,
             topology=args.topology,
@@ -153,7 +194,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             seed=args.seed,
             jobs=args.jobs,
         )
-        save_json(payload, args.out)
+        save_envelope(payload, "sweep", args.out)
         print(f"[saved to {args.out}]")
     return 0
 
@@ -182,7 +223,19 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         }
     )
     hooks = ProgressPrinter() if args.progress else None
-    executor = SweepExecutor(jobs=args.jobs, cache_dir=args.cache_dir, hooks=hooks)
+    executor = SweepExecutor(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        hooks=hooks,
+        manifest_dir=args.manifest_dir,
+    )
+    obs = (
+        _obs_spec_for_windows(
+            config.warmup_cycles, config.measure_cycles, config.drain_cycles
+        )
+        if args.obs
+        else None
+    )
     sweep = fault_sweep(
         topology,
         algorithms,
@@ -196,12 +249,13 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         heal_after=args.heal_after,
         recertify=not args.no_recertify,
         executor=executor,
+        obs=obs,
     )
     print(render_fault_table(sweep))
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(sweep.to_json())
-            fh.write("\n")
+        from repro.obs.envelope import save_envelope
+
+        save_envelope(sweep.to_dict(), "resilience", args.out)
         print(f"[saved to {args.out}]")
     return 0
 
@@ -254,9 +308,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 print(f"\n{target.target} — {check.check} witness:")
                 print(rendered)
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(report.to_json())
-            fh.write("\n")
+        from repro.obs.envelope import save_envelope
+
+        save_envelope(report.to_dict(), "verify", args.out)
         print(f"[saved to {args.out}]")
     if not report.ok:
         for target in report.unexpected():
@@ -285,9 +339,58 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             apply_baseline(payload, json.load(fh))
     print(render_report(payload))
     if args.out != "-":
-        with open(args.out, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        from repro.obs.envelope import save_envelope
+
+        save_envelope(payload, "bench", args.out)
+        print(f"[saved to {args.out}]")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import iter_manifests, load_manifest
+    from repro.obs.report import (
+        plot_manifest,
+        render_manifest_report,
+        report_payload,
+    )
+
+    manifests = [load_manifest(path) for path in args.manifest]
+    if args.manifest_dir:
+        manifests.extend(iter_manifests(args.manifest_dir))
+    if not manifests:
+        print(
+            "no manifests: pass manifest JSON paths or --manifest-dir",
+            file=sys.stderr,
+        )
+        return 2
+    for index, manifest in enumerate(manifests):
+        if index:
+            print()
+        print(
+            render_manifest_report(
+                manifest, top=args.top, max_rows=args.max_rows
+            )
+        )
+    if args.plot:
+        from pathlib import Path
+
+        base = Path(args.plot)
+        for index, manifest in enumerate(manifests):
+            target = (
+                base
+                if len(manifests) == 1
+                else base.with_name(f"{base.stem}-{index}{base.suffix}")
+            )
+            try:
+                plot_manifest(manifest, target)
+            except RuntimeError as exc:
+                print(str(exc), file=sys.stderr)
+                return 1
+            print(f"[plot saved to {target}]")
+    if args.out:
+        from repro.obs.envelope import save_envelope
+
+        save_envelope(report_payload(manifests, top=args.top), "report", args.out)
         print(f"[saved to {args.out}]")
     return 0
 
@@ -392,6 +495,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="statically certify each algorithm (deadlock/livelock free, "
         "connected) before launching the sweep",
     )
+    p_sweep.add_argument(
+        "--obs",
+        action="store_true",
+        help="collect bit-invisible channel/latency/timeline metrics",
+    )
+    p_sweep.add_argument(
+        "--manifest-dir",
+        default=None,
+        help="write a run manifest per point (input to 'report')",
+    )
     p_sweep.add_argument("--out", default=None, help="archive the run as JSON")
     p_sweep.set_defaults(func=_cmd_sweep)
 
@@ -405,6 +518,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--drain", type=int, default=3000)
     p_sim.add_argument("--buffer-depth", type=int, default=1)
     p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.add_argument(
+        "--obs",
+        action="store_true",
+        help="print channel-utilization heatmap and throughput timeline",
+    )
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_res = sub.add_parser(
@@ -466,6 +584,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument(
         "--progress", action="store_true", help="narrate per-point progress"
     )
+    p_res.add_argument(
+        "--obs",
+        action="store_true",
+        help="collect bit-invisible channel/latency/timeline metrics",
+    )
+    p_res.add_argument(
+        "--manifest-dir",
+        default=None,
+        help="write a run manifest per point (input to 'report')",
+    )
     p_res.add_argument("--out", default=None, help="archive the sweep as JSON")
     p_res.set_defaults(func=_cmd_resilience)
 
@@ -523,6 +651,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="output JSON path ('-' to skip writing)",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render channel-heatmap and timeline reports from run manifests",
+    )
+    p_report.add_argument(
+        "manifest", nargs="*", help="manifest JSON paths (manifest-<hash>.json)"
+    )
+    p_report.add_argument(
+        "--manifest-dir",
+        default=None,
+        help="render every manifest in this directory",
+    )
+    p_report.add_argument(
+        "--top", type=int, default=8, help="hottest channels to list"
+    )
+    p_report.add_argument(
+        "--max-rows", type=int, default=24, help="timeline rows to show"
+    )
+    p_report.add_argument(
+        "--plot",
+        default=None,
+        help="also write a PNG figure (requires matplotlib)",
+    )
+    p_report.add_argument(
+        "--out", default=None, help="write the summary as enveloped JSON"
+    )
+    p_report.set_defaults(func=_cmd_report)
 
     p_loads = sub.add_parser(
         "loads", help="static channel-load analysis (ideal saturation bounds)"

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
+from repro.obs.spec import ObsSpec
 from repro.sim.config import SimulationConfig
 from repro.topology.hypercube import Hypercube
 from repro.topology.mesh import Mesh2D
@@ -71,6 +72,26 @@ class Preset:
         )
         settings.update(overrides)
         return SimulationConfig(**settings)
+
+    def obs_spec(self) -> ObsSpec:
+        """Observability knobs scaled to this preset's windows."""
+        return _preset_obs_spec(
+            self.warmup_cycles + self.measure_cycles + self.drain_cycles
+        )
+
+
+def _preset_obs_spec(total_cycles: int) -> ObsSpec:
+    """An :class:`ObsSpec` scaled to one preset's window lengths.
+
+    The timeline is bucketed to roughly 50 windows regardless of scale,
+    and channel sampling thins out on long runs (paper-scale windows)
+    where per-cycle sampling would dominate collection cost without
+    changing the heatmap's shape.
+    """
+    return ObsSpec(
+        sample_every=1 if total_cycles <= 10_000 else 4,
+        timeline_window=max(1, total_cycles // 50),
+    )
 
 
 def _grid(*loads: float) -> tuple:
@@ -179,6 +200,12 @@ class FaultSweepPreset:
         )
         settings.update(overrides)
         return SimulationConfig(**settings)
+
+    def obs_spec(self) -> "ObsSpec":
+        """Observability knobs scaled to this preset's windows."""
+        return _preset_obs_spec(
+            self.warmup_cycles + self.measure_cycles + self.drain_cycles
+        )
 
 
 FAULT_SWEEP_PRESETS = {

@@ -1,0 +1,91 @@
+"""Observability: sampling metrics, run manifests, and reports.
+
+The layer has three floors, all optional and all bit-invisible to the
+simulation itself:
+
+* **collection** (:mod:`~repro.obs.spec`, :mod:`~repro.obs.sampling`,
+  :mod:`~repro.obs.metrics`): an :class:`ObsSpec` on
+  :class:`~repro.analysis.executor.ExperimentSpec` enables a
+  :class:`MetricsCollector` the engine consults through the same cheap
+  ``is not None`` hook discipline as the fault controller;
+* **persistence** (:mod:`~repro.obs.envelope`,
+  :mod:`~repro.obs.manifest`): every CLI ``--out`` artifact shares one
+  JSON envelope, and the executor writes a structured manifest per
+  point (spec hash, git describe, timings, certification verdict,
+  resilience ledger, metric summaries);
+* **rendering** (:mod:`~repro.obs.report`): ``repro report`` turns
+  manifests back into channel-utilization heatmaps and throughput
+  timelines, text-first with optional matplotlib.
+
+Every name is re-exported lazily: the executor imports
+``repro.obs.spec`` while :mod:`repro.resilience` (imported by the
+metrics module for its channel encoding) imports the executor back, so
+an eager package init would complete that cycle.
+"""
+
+#: Lazily re-exported names and the submodules providing them (see the
+#: module docstring for why the package init must stay import-free).
+_LAZY = {
+    "ObsSpec": "spec",
+    "ReservoirSampler": "sampling",
+    "MetricsCollector": "metrics",
+    "OBS_SCHEMA_VERSION": "metrics",
+    "ENVELOPE_SCHEMA_VERSION": "envelope",
+    "attach_envelope": "envelope",
+    "load_envelope": "envelope",
+    "save_envelope": "envelope",
+    "MANIFEST_SCHEMA_VERSION": "manifest",
+    "build_manifest": "manifest",
+    "git_describe": "manifest",
+    "iter_manifests": "manifest",
+    "load_manifest": "manifest",
+    "manifest_path": "manifest",
+    "write_manifest": "manifest",
+    "hottest_channels": "report",
+    "node_utilization_grid": "report",
+    "plot_manifest": "report",
+    "render_channel_heatmap": "report",
+    "render_manifest_report": "report",
+    "render_timeline_table": "report",
+    "report_payload": "report",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f"{__name__}.{module_name}")
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+__all__ = [
+    "ObsSpec",
+    "ReservoirSampler",
+    "MetricsCollector",
+    "OBS_SCHEMA_VERSION",
+    "ENVELOPE_SCHEMA_VERSION",
+    "attach_envelope",
+    "load_envelope",
+    "save_envelope",
+    "MANIFEST_SCHEMA_VERSION",
+    "build_manifest",
+    "git_describe",
+    "iter_manifests",
+    "load_manifest",
+    "manifest_path",
+    "write_manifest",
+    "hottest_channels",
+    "node_utilization_grid",
+    "plot_manifest",
+    "render_channel_heatmap",
+    "render_manifest_report",
+    "render_timeline_table",
+    "report_payload",
+]
+
+assert set(__all__) >= set(_LAZY), "lazy re-exports missing from __all__"

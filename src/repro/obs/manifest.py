@@ -1,0 +1,170 @@
+"""Structured run manifests: one JSON document per executed point.
+
+A manifest is the durable record of *how* a result was produced: the
+full experiment spec and its content hash, the code version (``git
+describe``), wall-clock timing and cache provenance, the certification
+verdict the executor enforced, the resilience ledger for faulted runs,
+and the observability metrics summary when collection was enabled.
+:class:`~repro.analysis.executor.SweepExecutor` writes one per point
+when constructed with ``manifest_dir=...``; ``repro report`` renders
+them back into channel heatmaps and timelines without touching the
+simulator.
+
+Manifests wear the shared artifact envelope
+(:mod:`repro.obs.envelope`) with ``tool == "manifest"`` and are named
+``manifest-<spec-hash>.json``, so a directory of manifests is keyed
+exactly like a result cache.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+from repro.obs.envelope import attach_envelope
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.executor import ExperimentSpec
+    from repro.sim.stats import SimulationResult
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "build_manifest",
+    "git_describe",
+    "load_manifest",
+    "iter_manifests",
+    "manifest_path",
+    "write_manifest",
+]
+
+#: Version of the manifest body layout (inside the shared envelope).
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def git_describe(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """The repository's ``git describe --always --dirty``, or ``None``.
+
+    Never raises: a manifest written outside a work tree (or without
+    git on PATH) simply records no code version.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    described = proc.stdout.strip()
+    return described or None
+
+
+def build_manifest(
+    *,
+    spec: "ExperimentSpec",
+    result: "SimulationResult",
+    wall_time_s: float,
+    cached: bool,
+    resilience: Optional[Dict[str, Any]] = None,
+    metrics: Optional[Dict[str, Any]] = None,
+    certification: Optional[Dict[str, Any]] = None,
+    series: str = "",
+    index: int = 0,
+    git_version: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Assemble the manifest document for one completed point.
+
+    Args:
+        spec: the experiment spec that was run.
+        result: its simulation result (re-serialized in full, so a
+            manifest alone reproduces every reported number).
+        wall_time_s: seconds the simulation took (0.0 for cache hits).
+        cached: whether the result came from the result cache.
+        resilience: the fault run's ledger summary, if any.
+        metrics: the obs metrics summary, if collection was enabled.
+        certification: the executor's certification verdict, e.g.
+            ``{"required": True, "certified": True}``.
+        series: sweep-series label the point belonged to.
+        index: position within its series.
+        git_version: code version; defaults to :func:`git_describe`.
+    """
+    from repro.analysis.results_io import result_to_dict
+
+    spec_hash = spec.content_hash()
+    body: Dict[str, Any] = {
+        "manifest_version": MANIFEST_SCHEMA_VERSION,
+        "created_unix": round(time.time(), 3),
+        "git_describe": (
+            git_version if git_version is not None else git_describe()
+        ),
+        "point": {"series": series, "index": index},
+        "spec": spec.to_dict(),
+        "timings": {"wall_time_s": wall_time_s, "cached": cached},
+        "certification": certification,
+        "resilience": resilience,
+        "metrics": metrics,
+        "result": result_to_dict(result),
+    }
+    return attach_envelope(body, "manifest", spec_hash=spec_hash)
+
+
+def manifest_path(root: Union[str, Path], spec_hash: str) -> Path:
+    """Where the manifest for ``spec_hash`` lives under ``root``."""
+    return Path(root) / f"manifest-{spec_hash}.json"
+
+
+def write_manifest(
+    manifest: Dict[str, Any], root: Union[str, Path]
+) -> Path:
+    """Persist one manifest under ``root``; returns the file path.
+
+    The file is keyed by the manifest's own ``spec_hash``, so rewriting
+    the same point (e.g. a cache hit on a later sweep) overwrites its
+    previous manifest rather than accumulating duplicates.
+    """
+    spec_hash = manifest.get("spec_hash")
+    if not spec_hash:
+        raise ValueError("manifest carries no spec_hash")
+    target = manifest_path(root, str(spec_hash))
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(manifest, indent=2, sort_keys=False))
+    return target
+
+
+def load_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read one manifest, validating its envelope and body version."""
+    from repro.obs.envelope import load_envelope
+
+    manifest = load_envelope(path, expect_tool="manifest")
+    version = manifest.get("manifest_version")
+    if not isinstance(version, int) or version > MANIFEST_SCHEMA_VERSION:
+        raise ValueError(f"{path}: unsupported manifest_version {version!r}")
+    return manifest
+
+
+def iter_manifests(root: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load every manifest under ``root``, ordered by (series, index).
+
+    Non-manifest JSON files are skipped silently, so a directory shared
+    with a result cache still reads cleanly.
+    """
+    manifests: List[Dict[str, Any]] = []
+    for path in sorted(Path(root).glob("manifest-*.json")):
+        try:
+            manifests.append(load_manifest(path))
+        except (ValueError, OSError):
+            continue
+    manifests.sort(
+        key=lambda m: (
+            m.get("point", {}).get("series", ""),
+            m.get("point", {}).get("index", 0),
+        )
+    )
+    return manifests

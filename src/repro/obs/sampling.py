@@ -1,0 +1,75 @@
+"""Reservoir sampling for unbounded metric streams.
+
+A run at saturation delivers hundreds of thousands of packets; keeping
+every latency would dwarf the result payload.  :class:`ReservoirSampler`
+keeps a uniform random sample of fixed capacity using Vitter's
+algorithm R, drawing from its **own** private :class:`random.Random`
+stream — never the simulation's workload or selection RNGs — which is
+what lets the observability layer promise bit-invisibility while still
+producing statistically honest percentiles.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List
+
+from repro.sim.stats import percentile
+
+__all__ = ["ReservoirSampler"]
+
+
+class ReservoirSampler:
+    """Uniform fixed-capacity sample of a stream (algorithm R).
+
+    Every offered value has probability ``capacity / population`` of
+    being in the reservoir at any point, regardless of arrival order.
+    Determinism contract: the same seed and the same offered stream
+    yield the same reservoir, byte for byte — pinned by
+    ``tests/obs/test_sampling.py``.
+    """
+
+    __slots__ = ("capacity", "population", "_rng", "_values")
+
+    def __init__(self, capacity: int, seed: int = 1) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0: {capacity}")
+        self.capacity = capacity
+        self.population = 0
+        self._rng = random.Random(seed)
+        self._values: List[float] = []
+
+    def offer(self, value: float) -> None:
+        """Consider one stream value for inclusion in the reservoir."""
+        self.population += 1
+        if self.capacity == 0:
+            return
+        if len(self._values) < self.capacity:
+            self._values.append(value)
+            return
+        slot = self._rng.randrange(self.population)
+        if slot < self.capacity:
+            self._values[slot] = value
+
+    def values(self) -> List[float]:
+        """The current reservoir contents, in insertion/replacement order."""
+        return list(self._values)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready distribution summary of the sampled stream.
+
+        Percentiles use the same nearest-rank convention as the
+        engine's end-of-run statistics (:func:`repro.sim.stats.percentile`).
+        """
+        values = self._values
+        return {
+            "population": self.population,
+            "capacity": self.capacity,
+            "sampled": len(values),
+            "mean": (sum(values) / len(values)) if values else 0.0,
+            "min": float(min(values)) if values else 0.0,
+            "p50": percentile(values, 0.50),
+            "p90": percentile(values, 0.90),
+            "p99": percentile(values, 0.99),
+            "max": float(max(values)) if values else 0.0,
+        }

@@ -28,6 +28,7 @@ from repro.analysis.executor import (
     ResilienceSpec,
     SweepExecutor,
 )
+from repro.obs.spec import ObsSpec
 from repro.sim.config import SimulationConfig
 from repro.sim.stats import SimulationResult
 from repro.topology.base import Topology
@@ -140,6 +141,7 @@ def fault_sweep(
     recertify: bool = True,
     require_connected: bool = True,
     executor: Optional[SweepExecutor] = None,
+    obs: Optional[ObsSpec] = None,
 ) -> FaultSweepResult:
     """Measure delivered fraction for each algorithm under each fault count.
 
@@ -166,6 +168,10 @@ def fault_sweep(
             connected (resampling the fault set, bounded).
         executor: the :class:`SweepExecutor` to run through; a fresh
             serial, uncached one when omitted.
+        obs: optional :class:`~repro.obs.spec.ObsSpec`; every cell then
+            collects channel/latency/timeline metrics (bit-invisible to
+            results) — pair with an executor whose ``manifest_dir`` is
+            set to persist them for ``repro report``.
     """
     spec_string = (
         topology if isinstance(topology, str) else topology_spec(topology)
@@ -198,6 +204,7 @@ def fault_sweep(
                         config=config_spec,
                         seed=seed,
                         resilience=resilience,
+                        obs=obs,
                     ),
                     series=algorithm,
                     index=count,

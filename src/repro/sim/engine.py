@@ -45,6 +45,7 @@ from repro.topology.channels import Channel, NodeId
 from repro.traffic.workload import Workload
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.obs.metrics import MetricsCollector
     from repro.resilience.controller import FaultController
 
 __all__ = ["WormholeSimulator", "RoutingError"]
@@ -101,6 +102,7 @@ class WormholeSimulator:
         preload: Optional[List[Tuple[NodeId, NodeId, int, float]]] = None,
         trace: Optional[TraceRecorder] = None,
         resilience: Optional["FaultController"] = None,
+        obs: Optional["MetricsCollector"] = None,
     ):
         """
         Args:
@@ -120,6 +122,12 @@ class WormholeSimulator:
                 than a :class:`RoutingError`; with an empty schedule the
                 fault hook never fires and results are bit-identical to
                 a run without a controller.
+            obs: optional
+                :class:`~repro.obs.metrics.MetricsCollector` sampling
+                channel utilization, latency, and throughput during the
+                run.  Every hook is read-only and the collector draws
+                no numbers from the simulation's RNG streams, so
+                enabling it is bit-invisible to results and traces.
         """
         self.topology = routing.topology
         if workload.pattern.topology is not self.topology:
@@ -281,12 +289,38 @@ class WormholeSimulator:
         self._stats: Optional[StatsCollector] = None
         if resilience is not None:
             resilience.bind(routing, self.topology)
+        # Observability: same cheap-hook contract as the fault
+        # controller — a run without a collector pays one ``is not
+        # None`` test per hook site and nothing else.
+        self._obs = obs
+        if obs is not None:
+            obs.bind(self)
 
     # ------------------------------------------------------------------
     # Resource helpers
 
     def _free_space(self, channel: Channel) -> int:
         return self._net_states[channel].free_space
+
+    @property
+    def network_channel_states(self) -> Dict[Channel, ChannelState]:
+        """The live per-channel resource table, in topology order.
+
+        Read-only view for observability: the metrics collector samples
+        ``owner`` and ``count`` from these states each cycle.  Mutating
+        them voids the determinism contract.
+        """
+        return self._net_states
+
+    @property
+    def total_injected(self) -> int:
+        """Packets that have started injecting (running total)."""
+        return self._total_injected
+
+    @property
+    def total_delivered(self) -> int:
+        """Packets fully consumed at their destination (running total)."""
+        return self._total_delivered
 
     @property
     def route_cache(self) -> Optional[RouteCache]:
@@ -507,6 +541,7 @@ class WormholeSimulator:
         new = self._new_waiters
         park = self._park_enabled
         woken = self._woken
+        obs = self._obs
         if woken:
             # Woken (previously parked) packets arrived at their routers
             # strictly before this cycle's new headers, so sorted-woken +
@@ -575,6 +610,8 @@ class WormholeSimulator:
                         packet.park_token = token
                         packet.parked = True
                         chosen.wake.append((packet, token))
+                        if obs is not None:
+                            obs.park_events += 1
                     else:
                         append_waiting(packet)
                     continue
@@ -591,6 +628,8 @@ class WormholeSimulator:
                         packet.parked = True
                         for s in candidates:
                             s.wake.append((packet, token))
+                        if obs is not None:
+                            obs.park_events += 1
                     else:
                         append_waiting(packet)
                     continue
@@ -786,11 +825,14 @@ class WormholeSimulator:
         wake = state.wake
         if wake:
             woken = self._woken
+            obs = self._obs
             for entry in wake:
                 parked = entry[0]
                 if parked.parked and parked.park_token == entry[1]:
                     parked.parked = False
                     woken.append(parked)
+                    if obs is not None:
+                        obs.wake_events += 1
             wake.clear()
 
     def _header_arrived(self, packet: Packet) -> None:
@@ -812,6 +854,8 @@ class WormholeSimulator:
             self.trace.record(self.cycle, "delivered", packet.pid, packet.dest)
         if self._resilience is not None:
             self._resilience.on_delivered(packet, self.cycle)
+        if self._obs is not None:
+            self._obs.on_packet_delivered(packet, self.cycle)
         stats.record_packet_done(
             packet.create_time, packet.inject_cycle, self.cycle, packet.hops,
             size=packet.size,
@@ -1020,6 +1064,7 @@ class WormholeSimulator:
         new_waiters = self._new_waiters
         woken = self._woken
         active = self._active
+        obs = self._obs
         cycle = 0
         while cycle < total:
             self.cycle = cycle
@@ -1091,6 +1136,11 @@ class WormholeSimulator:
                 and (resilience is None or not resilience.retries_pending)
             ):
                 break
+            # Observability sampling happens after every phase of the
+            # cycle has settled; the hook is read-only, so results with
+            # and without a collector are bit-identical.
+            if obs is not None:
+                obs.on_cycle_end(cycle, self)
             cycle += 1
             if (
                 not active
@@ -1128,6 +1178,8 @@ class WormholeSimulator:
             stats.queue_len_at_window_end = self._queued_total
         if resilience is not None:
             resilience.finish(self._messages_created, self.cycle)
+        if obs is not None:
+            obs.finish(self)
         return self._result(stats)
 
     def _total_queued(self) -> int:

@@ -9,7 +9,7 @@ examples and the benchmark harness use; power users can assemble
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.routing.base import RoutingAlgorithm
 from repro.routing.registry import make_routing
@@ -20,6 +20,9 @@ from repro.topology.base import Topology
 from repro.traffic.patterns import TrafficPattern
 from repro.traffic.permutations import make_pattern
 from repro.traffic.workload import PAPER_SIZES, SizeDistribution, Workload
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.obs.metrics import MetricsCollector
 
 __all__ = ["simulate"]
 
@@ -32,6 +35,7 @@ def simulate(
     sizes: SizeDistribution = PAPER_SIZES,
     config: Optional[SimulationConfig] = None,
     seed: int = 1,
+    obs: Optional["MetricsCollector"] = None,
 ) -> SimulationResult:
     """Simulate one (routing, pattern, load) point and return its result.
 
@@ -47,6 +51,9 @@ def simulate(
             10-or-200-flit bimodal mix.
         config: simulator configuration; defaults reproduce Section 6.
         seed: workload RNG seed.
+        obs: optional :class:`~repro.obs.metrics.MetricsCollector`;
+            bit-invisible sampling of channel utilization, latency, and
+            throughput (read its ``summary()`` after the call).
 
     Returns:
         The run's :class:`SimulationResult`.
@@ -58,5 +65,5 @@ def simulate(
     workload = Workload(
         pattern=pattern, sizes=sizes, offered_load=offered_load, seed=seed
     )
-    simulator = WormholeSimulator(routing, workload, config)
+    simulator = WormholeSimulator(routing, workload, config, obs=obs)
     return simulator.run()

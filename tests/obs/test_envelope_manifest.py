@@ -1,0 +1,149 @@
+"""The shared --out envelope and the structured run manifests."""
+
+import json
+
+import pytest
+
+from repro.analysis.executor import ConfigSpec, ExperimentSpec, SweepExecutor, PointSpec
+from repro.obs.envelope import (
+    ENVELOPE_SCHEMA_VERSION,
+    attach_envelope,
+    load_envelope,
+    save_envelope,
+)
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    git_describe,
+    iter_manifests,
+    load_manifest,
+    manifest_path,
+    write_manifest,
+)
+from repro.obs.spec import ObsSpec
+
+
+def _spec(**overrides):
+    fields = dict(
+        topology="mesh:4x4",
+        routing="west-first",
+        pattern="uniform",
+        load=0.1,
+        sizes=((4, 1.0),),
+        config=ConfigSpec(warmup_cycles=50, measure_cycles=200, drain_cycles=100),
+        seed=2,
+    )
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
+class TestEnvelope:
+    def test_attach_puts_envelope_keys_first(self):
+        doc = attach_envelope({"cells": []}, "resilience", spec_hash="abc")
+        assert list(doc) == ["schema_version", "tool", "spec_hash", "cells"]
+        assert doc["schema_version"] == ENVELOPE_SCHEMA_VERSION
+
+    def test_spec_hash_omitted_when_absent(self):
+        doc = attach_envelope({"kind": "sweep-run"}, "sweep")
+        assert "spec_hash" not in doc
+        assert doc["kind"] == "sweep-run"
+
+    def test_key_collision_rejected(self):
+        with pytest.raises(ValueError, match="envelope key"):
+            attach_envelope({"tool": "mine"}, "sweep")
+
+    def test_empty_tool_rejected(self):
+        with pytest.raises(ValueError, match="tool"):
+            attach_envelope({}, "")
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "nested" / "artifact.json"
+        written = save_envelope({"value": 7}, "bench", path)
+        assert load_envelope(path, expect_tool="bench") == written
+
+    def test_load_rejects_wrong_tool(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        save_envelope({}, "bench", path)
+        with pytest.raises(ValueError, match="expected a 'verify'"):
+            load_envelope(path, expect_tool="verify")
+
+    def test_load_rejects_unenveloped_and_future_documents(self, tmp_path):
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps({"kind": "sweep-run"}))
+        with pytest.raises(ValueError, match="not an enveloped"):
+            load_envelope(bare)
+        future = tmp_path / "future.json"
+        future.write_text(
+            json.dumps({"schema_version": ENVELOPE_SCHEMA_VERSION + 1, "tool": "x"})
+        )
+        with pytest.raises(ValueError, match="newer than supported"):
+            load_envelope(future)
+
+
+class TestManifest:
+    def test_build_write_load_round_trip(self, tmp_path):
+        spec = _spec(obs=ObsSpec())
+        full = spec.run_full()
+        manifest = build_manifest(
+            spec=spec,
+            result=full.result,
+            wall_time_s=1.25,
+            cached=False,
+            metrics=full.metrics,
+            certification={"required": False, "certified": False},
+            series="west-first",
+            index=3,
+            git_version="testversion",
+        )
+        assert manifest["tool"] == "manifest"
+        assert manifest["manifest_version"] == MANIFEST_SCHEMA_VERSION
+        assert manifest["spec_hash"] == spec.content_hash()
+        assert manifest["git_describe"] == "testversion"
+        assert manifest["point"] == {"series": "west-first", "index": 3}
+        assert manifest["timings"]["wall_time_s"] == 1.25
+        assert manifest["spec"] == spec.to_dict()
+        assert manifest["metrics"]["counters"]["delivered_packets"] > 0
+
+        path = write_manifest(manifest, tmp_path)
+        assert path == manifest_path(tmp_path, spec.content_hash())
+        # The manifest is a JSON document: loading it back yields the
+        # JSON normalization (e.g. int dict keys become strings).
+        assert load_manifest(path) == json.loads(json.dumps(manifest))
+
+    def test_iter_manifests_sorts_and_skips_junk(self, tmp_path):
+        for index, seed in enumerate((5, 3)):
+            spec = _spec(seed=seed)
+            manifest = build_manifest(
+                spec=spec,
+                result=spec.run(),
+                wall_time_s=0.0,
+                cached=False,
+                series="s",
+                index=index,
+                git_version=None,
+            )
+            write_manifest(manifest, tmp_path)
+        (tmp_path / "manifest-notjson.json").write_text("{broken")
+        (tmp_path / "unrelated.json").write_text("{}")
+        manifests = iter_manifests(tmp_path)
+        assert [m["point"]["index"] for m in manifests] == [0, 1]
+
+    def test_executor_writes_manifest_on_fresh_and_cached_runs(self, tmp_path):
+        spec = _spec(obs=ObsSpec(timeline_window=64))
+        cache = tmp_path / "cache"
+        manifests = tmp_path / "runs"
+        for expect_cached in (False, True):
+            executor = SweepExecutor(
+                jobs=1, cache_dir=str(cache), manifest_dir=str(manifests)
+            )
+            (outcome,) = executor.run_points([PointSpec(spec=spec)])
+            assert outcome.cached is expect_cached
+            manifest = load_manifest(manifest_path(manifests, spec.content_hash()))
+            assert manifest["timings"]["cached"] is expect_cached
+            assert manifest["metrics"]["counters"]["delivered_packets"] > 0
+            assert manifest["result"]["total_delivered"] > 0
+
+    def test_git_describe_reports_this_repo_or_none(self):
+        version = git_describe()
+        assert version is None or isinstance(version, str)
+        assert git_describe(cwd="/nonexistent-dir-xyz") is None

@@ -1,0 +1,103 @@
+"""ReservoirSampler: algorithm R semantics and the determinism contract."""
+
+import random
+
+import pytest
+
+from repro.obs.sampling import ReservoirSampler
+from repro.sim.stats import percentile
+
+
+class TestReservoirSemantics:
+    def test_under_capacity_keeps_everything(self):
+        sampler = ReservoirSampler(capacity=16)
+        for value in range(10):
+            sampler.offer(float(value))
+        assert sampler.values() == [float(v) for v in range(10)]
+        assert sampler.population == 10
+
+    def test_over_capacity_keeps_a_subset_of_the_stream(self):
+        sampler = ReservoirSampler(capacity=8, seed=3)
+        stream = [float(v) for v in range(1000)]
+        for value in stream:
+            sampler.offer(value)
+        values = sampler.values()
+        assert len(values) == 8
+        assert sampler.population == 1000
+        assert set(values) <= set(stream)
+
+    def test_zero_capacity_counts_but_stores_nothing(self):
+        sampler = ReservoirSampler(capacity=0)
+        for value in range(5):
+            sampler.offer(float(value))
+        assert sampler.values() == []
+        assert sampler.population == 5
+        summary = sampler.summary()
+        assert summary["sampled"] == 0
+        assert summary["mean"] == 0.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ReservoirSampler(capacity=-1)
+
+    def test_inclusion_probability_is_roughly_uniform(self):
+        # Offer 0..199 into a capacity-20 reservoir many times; early and
+        # late stream positions must be retained at similar rates.
+        early_hits = late_hits = 0
+        trials = 300
+        for seed in range(trials):
+            sampler = ReservoirSampler(capacity=20, seed=seed)
+            for value in range(200):
+                sampler.offer(float(value))
+            kept = set(sampler.values())
+            early_hits += sum(1 for v in range(50) if float(v) in kept)
+            late_hits += sum(1 for v in range(150, 200) if float(v) in kept)
+        # Expected hits per trial: 20/200 * 50 = 5 for each window.
+        assert early_hits / trials == pytest.approx(5.0, rel=0.15)
+        assert late_hits / trials == pytest.approx(5.0, rel=0.15)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream_same_reservoir(self):
+        stream = [random.Random(99).uniform(0, 500) for _ in range(5000)]
+        first = ReservoirSampler(capacity=64, seed=7)
+        second = ReservoirSampler(capacity=64, seed=7)
+        for value in stream:
+            first.offer(value)
+            second.offer(value)
+        assert first.values() == second.values()
+        assert first.summary() == second.summary()
+
+    def test_different_seeds_differ(self):
+        stream = [float(v) for v in range(5000)]
+        first = ReservoirSampler(capacity=64, seed=1)
+        second = ReservoirSampler(capacity=64, seed=2)
+        for value in stream:
+            first.offer(value)
+            second.offer(value)
+        assert first.values() != second.values()
+
+    def test_private_rng_not_global(self):
+        # The sampler must never consume the global random stream.
+        random.seed(123)
+        expected = random.Random(123).random()
+        sampler = ReservoirSampler(capacity=4, seed=1)
+        for value in range(100):
+            sampler.offer(float(value))
+        assert random.random() == expected
+
+
+class TestSummary:
+    def test_percentiles_match_stats_convention(self):
+        values = [float(v) for v in range(1, 101)]
+        sampler = ReservoirSampler(capacity=200)
+        for value in values:
+            sampler.offer(value)
+        summary = sampler.summary()
+        assert summary["population"] == 100
+        assert summary["sampled"] == 100
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        for key, q in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
+            assert summary[key] == percentile(values, q)

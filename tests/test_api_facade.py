@@ -1,0 +1,174 @@
+"""The `repro.api.run` facade and the deprecation shims around it.
+
+The facade contract: one keyword-only entry point covering every run
+path (plain / obs / resilience / cached), returning the same RunResult
+shape everywhere, with the pre-facade entry points still working but
+warning.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import api
+from repro.analysis.executor import ExperimentSpec
+from repro.obs.spec import ObsSpec
+from repro.sim.digest import result_digest
+from repro.topology.mesh import Mesh2D
+
+
+def _spec(**overrides):
+    fields = dict(
+        topology="mesh:4x4",
+        routing="west-first",
+        pattern="uniform",
+        load=0.1,
+        sizes=((4, 1.0),),
+        config=api.ConfigSpec(warmup_cycles=50, measure_cycles=200, drain_cycles=100),
+        seed=3,
+    )
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
+class TestRunFacade:
+    def test_spec_path_matches_run_full(self):
+        spec = _spec()
+        assert api.run(spec).result == spec.run_full().result
+
+    def test_keyword_path_builds_equivalent_spec(self):
+        spec = _spec()
+        out = api.run(
+            topology="mesh:4x4",
+            routing="west-first",
+            pattern="uniform",
+            load=0.1,
+            sizes=((4, 1.0),),
+            config=spec.config,
+            seed=3,
+        )
+        assert out.spec == spec
+        assert out.result == spec.run()
+
+    def test_topology_and_routing_instances_accepted(self):
+        mesh = Mesh2D(4, 4)
+        by_name = api.run(_spec())
+        by_instance = api.run(
+            topology=mesh,
+            routing=api.make_routing("west-first", mesh),
+            pattern="uniform",
+            load=0.1,
+            sizes=((4, 1.0),),
+            config=_spec().config,
+            seed=3,
+        )
+        assert by_instance.spec == by_name.spec
+        assert by_instance.result == by_name.result
+
+    def test_obs_true_collects_and_stays_bit_invisible(self):
+        plain = api.run(_spec())
+        observed = api.run(_spec(), obs=True)
+        assert observed.spec.obs == ObsSpec()
+        assert observed.metrics is not None
+        assert observed.metrics["counters"]["delivered_packets"] > 0
+        assert observed.result == plain.result
+        assert result_digest(observed.result) == result_digest(plain.result)
+
+    def test_obs_spec_and_false_override_spec(self):
+        tuned = ObsSpec(sample_every=2, timeline_window=64)
+        out = api.run(_spec(), obs=tuned)
+        assert out.spec.obs == tuned
+        stripped = api.run(_spec(obs=tuned), obs=False)
+        assert stripped.spec.obs is None
+        assert stripped.metrics is None
+
+    def test_config_accepts_simulation_config(self):
+        config = api.SimulationConfig(
+            warmup_cycles=50, measure_cycles=200, drain_cycles=100
+        )
+        out = api.run(
+            topology="mesh:4x4",
+            routing="west-first",
+            pattern="uniform",
+            load=0.1,
+            sizes=((4, 1.0),),
+            config=config,
+            seed=3,
+        )
+        assert out.spec == _spec()
+
+    def test_cache_dir_round_trip(self, tmp_path):
+        spec = _spec()
+        first = api.run(spec, cache_dir=str(tmp_path))
+        second = api.run(spec, cache_dir=str(tmp_path))
+        assert not first.cached
+        assert second.cached
+        assert second.result == first.result
+
+    def test_manifest_dir_writes_loadable_manifest(self, tmp_path):
+        spec = _spec(obs=ObsSpec())
+        api.run(spec, manifest_dir=str(tmp_path))
+        path = tmp_path / f"manifest-{spec.content_hash()}.json"
+        manifest = api.load_manifest(path)
+        assert manifest["spec_hash"] == spec.content_hash()
+        assert manifest["metrics"] is not None
+
+    def test_spec_plus_point_fields_is_an_error(self):
+        with pytest.raises(TypeError, match="both a spec and point fields"):
+            api.run(_spec(), topology="mesh:8x8")
+        with pytest.raises(TypeError, match="seed"):
+            api.run(_spec(), seed=7)
+
+    def test_missing_point_fields_is_an_error(self):
+        with pytest.raises(TypeError, match="pattern"):
+            api.run(topology="mesh:4x4", routing="xy", load=0.1)
+
+    def test_positional_non_spec_is_an_error(self):
+        with pytest.raises(TypeError, match="keyword"):
+            api.run("mesh:4x4")
+
+    def test_point_fields_are_keyword_only(self):
+        with pytest.raises(TypeError):
+            api.run("mesh:4x4", "xy", "uniform", 0.1)  # noqa: E501 - intentional misuse
+
+
+class TestDeprecatedShims:
+    def test_simulate_warns_and_forwards(self):
+        spec = _spec()
+        resolved = api.resolve_spec(spec)
+        with pytest.warns(DeprecationWarning, match="simulate is deprecated"):
+            result = api.simulate(
+                resolved.topology,
+                "west-first",
+                "uniform",
+                0.1,
+                sizes=api.SizeDistribution(((4, 1.0),)),
+                config=spec.config.to_config(),
+                seed=3,
+            )
+        assert result == api.run(spec).result
+
+    def test_run_spec_warns_and_forwards(self):
+        spec = _spec()
+        with pytest.warns(DeprecationWarning, match="run_spec is deprecated"):
+            result = api.run_spec(spec)
+        assert result == api.run(spec).result
+
+    def test_sweep_loads_warns_and_forwards(self):
+        spec = _spec()
+        resolved = api.resolve_spec(spec)
+        with pytest.warns(DeprecationWarning, match="sweep_loads is deprecated"):
+            series = api.sweep_loads(
+                resolved.topology,
+                "west-first",
+                "uniform",
+                [0.1],
+                sizes=api.SizeDistribution(((4, 1.0),)),
+                config=spec.config.to_config(),
+                seed=3,
+            )
+        reference = api.run(spec).result
+        point = series.points[0]
+        assert point.offered_load == reference.offered_load
+        assert point.avg_latency_usec == reference.avg_latency_usec
+        assert point.throughput_flits_per_usec == reference.throughput_flits_per_usec

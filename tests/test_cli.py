@@ -132,6 +132,8 @@ class TestSweepCommand:
         ]
         assert main(args) == 0
         first = json.loads(out_path.read_text())
+        assert first["schema_version"] == 1
+        assert first["tool"] == "sweep"
         assert first["kind"] == "sweep-run"
         assert [s["algorithm"] for s in first["series"]] == [
             "xy", "negative-first",
@@ -184,6 +186,8 @@ class TestResilienceCommand:
         assert "delivered fraction" in out
         assert "west-first-nonminimal" in out
         payload = json.loads(out_path.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["tool"] == "resilience"
         assert payload["topology"] == "mesh:4x4"
         assert payload["fault_counts"] == [0, 2]
         cells = payload["cells"]

@@ -46,6 +46,8 @@ class TestVerifyCommand:
         assert "fixture:figure1/unrestricted-adaptive" in out
         assert "dependency cycle of 4 channels" in out
         payload = json.loads(out_path.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["tool"] == "verify"
         assert len(payload["targets"]) >= 40
         fixture = next(
             entry
