@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Sweep points/sec benchmark — thin wrapper over :mod:`repro.analysis.bench_sweep`.
+
+Run from the repository root (no install needed)::
+
+    python benchmarks/bench_sweep.py [--quick] [--baseline old.json]
+
+Equivalent to ``repro bench --sweep``; writes ``BENCH_sweep.json`` so
+sweep-scale throughput (warm persistent workers vs per-point cold
+starts) is tracked across PRs.  See ``docs/experiments_api.md`` (Sweep
+performance) for what the numbers mean and the bit-identity gate the
+three execution modes must pass.
+"""
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis.bench_sweep import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

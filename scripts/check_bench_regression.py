@@ -1,11 +1,14 @@
 #!/usr/bin/env python
-"""Bench regression guard: fail CI when the engine slows down.
+"""Bench regression guard: fail CI when the engine or the sweep slows down.
 
-Compares a fresh ``repro bench`` payload against the committed
-``BENCH_engine.json`` baseline and exits nonzero when a guarded
-scenario's ``cycles_per_sec`` regressed by more than the threshold
-(default: 15% on ``mesh16-west-first-sat``, the saturated 16x16-mesh
-scenario that dominates paper-scale sweep time).
+Compares a fresh bench payload against a committed baseline and exits
+nonzero when a guarded scenario's rate metric regressed by more than
+the threshold (default: 15%).  Works for both bench families:
+
+* engine bench (``repro bench``, ``BENCH_engine.json``) — metric
+  ``cycles_per_sec``, runs comparable when ``cycles_simulated`` match;
+* sweep bench (``repro bench --sweep``, ``BENCH_sweep.json``) — metric
+  ``points_per_sec``, runs comparable when ``points_total`` match.
 
 Usage::
 
@@ -13,10 +16,17 @@ Usage::
     python scripts/check_bench_regression.py \\
         --baseline BENCH_engine.json --current /tmp/bench-current.json
 
+    repro bench --sweep --out /tmp/bench-sweep-current.json
+    python scripts/check_bench_regression.py \\
+        --baseline BENCH_sweep.json --current /tmp/bench-sweep-current.json \\
+        --metric points_per_sec --scenario mesh16-grid
+
 Non-guarded scenarios are reported for context but never fail the
 check; wall-clock noise on shared CI runners is real, which is why the
-guard watches one long-running scenario with a generous threshold
-rather than every scenario with a tight one.
+guard watches a small set of scenarios with a generous threshold
+rather than every scenario with a tight one.  Result digests, by
+contrast, are machine-independent: a digest mismatch between runs of
+the same size fails the guard regardless of speed.
 """
 
 from __future__ import annotations
@@ -27,6 +37,14 @@ import sys
 
 DEFAULT_SCENARIOS = ("mesh16-west-first-sat",)
 DEFAULT_THRESHOLD = 0.15
+DEFAULT_METRIC = "cycles_per_sec"
+
+#: For each rate metric, the scenario field that must match for two
+#: runs to be the same seeded workload (and digests comparable).
+COUNT_KEYS = {
+    "cycles_per_sec": "cycles_simulated",
+    "points_per_sec": "points_total",
+}
 
 
 def compare(
@@ -34,20 +52,26 @@ def compare(
     current: dict,
     guarded: tuple,
     threshold: float,
+    metric: str = DEFAULT_METRIC,
 ) -> int:
+    count_key = COUNT_KEYS.get(metric)
     base_scenarios = baseline.get("scenarios", {})
     cur_scenarios = current.get("scenarios", {})
     failures = []
+    unit = metric.replace("_per_sec", "/s")
     print(
-        f"{'scenario':28s} {'baseline c/s':>14s} {'current c/s':>14s} "
-        f"{'change':>8s}  guard"
+        f"{'scenario':28s} {'baseline ' + unit:>16s} "
+        f"{'current ' + unit:>16s} {'change':>8s}  guard"
     )
     digest_breaks = []
     for name in sorted(set(base_scenarios) & set(cur_scenarios)):
         base = base_scenarios[name]
         cur = cur_scenarios[name]
-        base_rate = base["cycles_per_sec"]
-        cur_rate = cur["cycles_per_sec"]
+        base_rate = base.get(metric)
+        cur_rate = cur.get(metric)
+        if not base_rate or not cur_rate:
+            print(f"{name:28s} {'-':>16s} {'-':>16s} {'-':>8s}  no {metric}")
+            continue
         change = cur_rate / base_rate - 1.0
         is_guarded = name in guarded
         verdict = ""
@@ -57,11 +81,12 @@ def compare(
                 failures.append((name, change))
             else:
                 verdict = "ok"
-        # Same simulated cycles => the run is the same seeded workload,
+        # Same workload size => the run is the same seeded workload,
         # and its result digest is machine-independent: any mismatch
-        # means engine behavior changed, not just speed.
+        # means simulator behavior changed, not just speed.
         if (
-            base.get("cycles_simulated") == cur.get("cycles_simulated")
+            count_key is not None
+            and base.get(count_key) == cur.get(count_key)
             and base.get("result_digest")
             and cur.get("result_digest")
             and base["result_digest"] != cur["result_digest"]
@@ -69,7 +94,7 @@ def compare(
             digest_breaks.append(name)
             verdict = (verdict + " digest-mismatch").strip()
         print(
-            f"{name:28s} {base_rate:14.0f} {cur_rate:14.0f} "
+            f"{name:28s} {base_rate:16.1f} {cur_rate:16.1f} "
             f"{change:+7.1%}  {verdict}"
         )
     missing = [name for name in guarded if name not in cur_scenarios]
@@ -82,7 +107,7 @@ def compare(
         return 2
     if digest_breaks:
         print(
-            "BIT-IDENTITY: result digests changed for same-cycle runs: "
+            "BIT-IDENTITY: result digests changed for same-size runs: "
             f"{digest_breaks}"
         )
     if failures:
@@ -119,12 +144,21 @@ def main(argv=None) -> int:
         default=DEFAULT_THRESHOLD,
         help="allowed fractional slowdown before failing (0.15 = 15%%)",
     )
+    parser.add_argument(
+        "--metric",
+        default=DEFAULT_METRIC,
+        choices=sorted(COUNT_KEYS),
+        help="scenario rate metric to guard",
+    )
     args = parser.parse_args(argv)
     with open(args.baseline) as fh:
         baseline = json.load(fh)
     with open(args.current) as fh:
         current = json.load(fh)
-    return compare(baseline, current, tuple(args.scenario), args.threshold)
+    return compare(
+        baseline, current, tuple(args.scenario), args.threshold,
+        metric=args.metric,
+    )
 
 
 if __name__ == "__main__":

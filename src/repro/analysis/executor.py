@@ -14,14 +14,25 @@ rest of the harness routes through:
   and index that route its result back into a sweep.
 * :class:`ResultCache` — an on-disk store keyed by the spec's content
   hash, so re-running a figure only simulates the missing points.
-* :class:`SweepExecutor` — fans points out over a
-  :mod:`concurrent.futures` process pool (``jobs > 1``) or runs them
-  in-process (``jobs == 1``, the deterministic default for tests), with
-  progress/metrics surfaced through :class:`ExecutorHooks`.
+* :class:`SweepExecutor` — fans points out over a *persistent*
+  :mod:`concurrent.futures` process pool (``jobs > 1``, kept alive
+  across ``run_points`` calls) or runs them in-process (``jobs == 1``,
+  the deterministic default for tests), with progress/metrics surfaced
+  through :class:`ExecutorHooks`.
 
-Per-point results are bit-identical between the serial and parallel
-paths because each point is simulated from its spec alone: same seeds,
-same config, no shared mutable state.
+Sweep grids repeat the same few ``(topology, algorithm)`` pairs across
+many loads, so the executor amortizes construction through
+:mod:`repro.analysis.prewarm`: points are batched by pair, each batch
+reuses one warm context (shared topology/routing objects plus an
+accumulated raw route table), and prewarmable pairs get their full
+route table precomputed once and shared with workers — by fork
+inheritance when the pool has not started yet, or as a compact
+serialized artifact shipped with the batch otherwise.
+
+Per-point results are bit-identical between the serial, parallel, and
+warmed paths because each point is simulated from its spec alone: same
+seeds, same config, and the only shared state is immutable objects and
+memoized pure routing decisions.
 """
 
 from __future__ import annotations
@@ -29,15 +40,25 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import multiprocessing
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, TextIO, Tuple, Union
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple, Union
 
+from repro.analysis.prewarm import (
+    WarmContext,
+    get_warm_context,
+    load_route_table,
+    prewarm_route_table,
+    serialize_route_table,
+)
 from repro.obs.spec import ObsSpec
 from repro.routing.base import RoutingAlgorithm
+from repro.routing.cache import RouteCache
 from repro.routing.registry import canonical_name, make_routing
 from repro.routing.selection import make_input_policy, make_output_policy
 from repro.sim.config import FLITS_PER_USEC, SimulationConfig
@@ -300,8 +321,35 @@ class ExperimentSpec:
         """
         return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
 
-    def resolve(self) -> "ResolvedSpec":
-        """Instantiate the live objects this spec names."""
+    def resolve(self, warm: Optional[WarmContext] = None) -> "ResolvedSpec":
+        """Instantiate the live objects this spec names.
+
+        Args:
+            warm: optional warm context for this spec's ``(topology,
+                routing)`` pair; its shared topology, routing, pattern,
+                and raw route table are reused instead of rebuilt.  The
+                objects are immutable (and routing decisions pure), so
+                resolution through a warm context is bit-identical to a
+                cold one.
+
+        Raises:
+            ValueError: if ``warm`` belongs to a different pair.
+        """
+        if warm is not None:
+            if warm.key != (self.topology, self.routing):
+                raise ValueError(
+                    f"warm context {warm.key!r} does not match spec "
+                    f"({self.topology!r}, {self.routing!r})"
+                )
+            return ResolvedSpec(
+                spec=self,
+                topology=warm.topology,
+                routing=warm.routing,
+                pattern=warm.pattern(self.pattern),
+                sizes=self.size_distribution(),
+                config=self.config.to_config(),
+                route_source=warm.route_source,
+            )
         topology = parse_topology(self.topology)
         return ResolvedSpec(
             spec=self,
@@ -326,7 +374,7 @@ class ExperimentSpec:
         full = self.run_full()
         return full.result, full.resilience
 
-    def run_full(self) -> "RunResult":
+    def run_full(self, warm: Optional[WarmContext] = None) -> "RunResult":
         """Simulate this point and return everything it produced.
 
         Fault-free points take exactly the historical :func:`simulate`
@@ -334,8 +382,16 @@ class ExperimentSpec:
         built — only when the spec asks for it.  Likewise the metrics
         collector exists only when ``obs`` is set, and its presence is
         bit-invisible to the result.
+
+        Args:
+            warm: optional warm context (see :meth:`resolve`).  Ignored
+                for points with a resilience spec — fault injection
+                degrades routing mid-run, so those points always build
+                cold, private state.
         """
-        resolved = self.resolve()
+        if self.resilience is not None:
+            warm = None
+        resolved = self.resolve(warm)
         collector = None
         if self.obs is not None:
             from repro.obs.metrics import MetricsCollector
@@ -351,6 +407,7 @@ class ExperimentSpec:
                 config=resolved.config,
                 seed=self.seed,
                 obs=collector,
+                route_source=resolved.route_source,
             )
             return RunResult(
                 spec=self,
@@ -388,7 +445,12 @@ class ExperimentSpec:
 
 @dataclass(frozen=True)
 class ResolvedSpec:
-    """The live objects an :class:`ExperimentSpec` names."""
+    """The live objects an :class:`ExperimentSpec` names.
+
+    ``route_source`` is the warm context's shared raw route table when
+    the spec was resolved through one (``None`` on a cold resolve); the
+    engine consults it before recomputing any routing decision.
+    """
 
     spec: ExperimentSpec
     topology: Topology
@@ -396,6 +458,7 @@ class ResolvedSpec:
     pattern: TrafficPattern
     sizes: SizeDistribution
     config: SimulationConfig
+    route_source: Optional[RouteCache] = None
 
 
 def resolve_spec(spec: ExperimentSpec) -> ResolvedSpec:
@@ -486,7 +549,13 @@ class PointOutcome:
 
 @dataclass
 class ExecutorMetrics:
-    """Counters one :meth:`SweepExecutor.run_points` call accumulates."""
+    """Counters one :meth:`SweepExecutor.run_points` call accumulates.
+
+    ``warm_points`` counts simulations resolved through a warm context,
+    ``batches`` the parallel jobs dispatched (each carries a chunk of
+    same-key points), and ``prewarmed_keys`` the ``(topology, routing)``
+    pairs whose full route table was precomputed up front.
+    """
 
     points_total: int = 0
     points_completed: int = 0
@@ -494,6 +563,9 @@ class ExecutorMetrics:
     simulated: int = 0
     cycles_simulated: int = 0
     wall_time_s: float = 0.0
+    warm_points: int = 0
+    batches: int = 0
+    prewarmed_keys: int = 0
 
 
 class ExecutorHooks:
@@ -644,19 +716,61 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*.json"))
 
 
+#: One completed simulation as the executor's wire format:
+#: (result, resilience summary, obs metrics summary, seconds).
+_JobResult = Tuple[SimulationResult, Optional[dict], Optional[dict], float]
+
+
+def _warm_context_for(spec: ExperimentSpec) -> Optional[WarmContext]:
+    """This process's warm context for a spec, or ``None`` when the
+    point must run cold (resilience points degrade routing mid-run)."""
+    if spec.resilience is not None:
+        return None
+    return get_warm_context(spec.topology, spec.routing)
+
+
 def _run_point_job(
     spec: ExperimentSpec,
-) -> Tuple[SimulationResult, Optional[dict], Optional[dict], float]:
+    warm: Optional[WarmContext] = None,
+) -> _JobResult:
     """Worker entry point: simulate one spec, timing it.
 
     Module-level so it pickles under every multiprocessing start method.
     Returns (result, resilience summary, obs metrics summary, seconds).
     """
     started = time.perf_counter()
-    full = spec.run_full()
+    full = spec.run_full(warm=warm)
     return full.result, full.resilience, full.metrics, (
         time.perf_counter() - started
     )
+
+
+def _run_batch_job(
+    specs: List[ExperimentSpec],
+    use_warm: bool,
+    table_payload: Optional[dict],
+) -> List[_JobResult]:
+    """Worker entry point: simulate a chunk of same-key specs in order.
+
+    With ``use_warm`` set, every spec resolves through this worker
+    process's warm context for the chunk's ``(topology, routing)`` pair;
+    ``table_payload`` (a serialized full route table from the parent's
+    precomputation) is installed into that context first, so even the
+    worker's first point never recomputes a route.
+    """
+    results: List[_JobResult] = []
+    for spec in specs:
+        warm = _warm_context_for(spec) if use_warm else None
+        if warm is not None and table_payload is not None:
+            load_route_table(warm, table_payload)
+            table_payload = None  # same key for the whole chunk
+        results.append(_run_point_job(spec, warm))
+    return results
+
+
+#: Same-key point count below which the full route table is not worth
+#: precomputing (a lone point fills what it needs lazily anyway).
+PREWARM_MIN_POINTS = 2
 
 
 class SweepExecutor:
@@ -665,7 +779,11 @@ class SweepExecutor:
     Args:
         jobs: worker processes; ``1`` (the default) runs every point
             in-process with no pool, which is the deterministic path
-            tests use.
+            tests use.  ``None`` means one worker per CPU
+            (``os.cpu_count()``).  Worker processes persist across
+            ``run_points`` calls, so their warm contexts keep paying
+            off; call :meth:`close` (or use the executor as a context
+            manager) to release them.
         cache_dir: directory for the on-disk result cache; ``None``
             disables caching.
         hooks: progress callbacks; defaults to silent.
@@ -683,23 +801,33 @@ class SweepExecutor:
             witness) if any pair fails.  A refuted algorithm would wedge
             or wander the simulator anyway; the gate converts hours of
             wasted sweep into an immediate, explained failure.
+        warm: reuse warmed state (shared topology/routing objects and
+            accumulated route tables) for points sharing a
+            ``(topology, routing)`` key, and batch parallel work by key
+            to maximize that reuse.  Bit-identical either way — the
+            flag exists so benches and tests can measure/pin the cold
+            path.
 
-    Results are identical for any ``jobs`` value: each point is fully
-    determined by its spec.  The executor only changes where and when
-    points run.
+    Results are identical for any ``jobs`` value and either ``warm``
+    setting: each point is fully determined by its spec.  The executor
+    only changes where and when points run.
     """
 
     def __init__(
         self,
-        jobs: int = 1,
+        jobs: Optional[int] = 1,
         cache_dir: Optional[Union[str, Path]] = None,
         hooks: Optional[ExecutorHooks] = None,
         require_certification: bool = False,
         manifest_dir: Optional[Union[str, Path]] = None,
+        warm: bool = True,
     ) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.warm = warm
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.hooks = hooks if hooks is not None else ExecutorHooks()
         self.last_metrics: Optional[ExecutorMetrics] = None
@@ -710,6 +838,41 @@ class SweepExecutor:
         self._git_version: Optional[str] = None
         self._git_resolved = False
         self._certified: set = set()
+        # Persistent worker pool (jobs > 1), created on first parallel
+        # run and kept across calls.  _inherited_keys tracks which warm
+        # keys were prewarmed in this process before the pool forked —
+        # those tables reach workers by fork inheritance, everything
+        # later ships serialized.
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._inherited_keys: set = set()
+
+    # -- worker-pool lifecycle ----------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        pool, self._pool = self._pool, None
+        self._inherited_keys = set()
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            pool = self._pool
+        except AttributeError:
+            return
+        if pool is not None:
+            pool.shutdown(wait=False)
 
     # -- certification gate -------------------------------------------
 
@@ -801,6 +964,7 @@ class SweepExecutor:
             series=point.series,
             index=point.index,
             git_version=self._git_version,
+            executor={"jobs": self.jobs, "warm": self.warm},
         )
         write_manifest(manifest, self.manifest_dir)
 
@@ -854,10 +1018,56 @@ class SweepExecutor:
         if outcome is not None:
             return outcome
         self.hooks.on_point_start(point)
-        result, extras, obs_metrics, wall_time = _run_point_job(point.spec)
+        warm = _warm_context_for(point.spec) if self.warm else None
+        if warm is not None:
+            metrics.warm_points += 1
+        result, extras, obs_metrics, wall_time = _run_point_job(
+            point.spec, warm
+        )
         return self._complete_fresh(
             point, result, wall_time, metrics, extras, obs_metrics
         )
+
+    def _prewarm_groups(
+        self,
+        points: Sequence[PointSpec],
+        groups: Dict[Tuple[str, str], List[int]],
+        metrics: ExecutorMetrics,
+    ) -> Dict[Tuple[str, str], Optional[dict]]:
+        """Precompute route tables for the grid's warm keys.
+
+        Builds the full ``(node, dest)`` table once per prewarmable key
+        with enough points to repay it, in this (parent) process's warm
+        context.  Returns the serialized artifact each batch must ship
+        to its worker — ``None`` for keys the workers will inherit by
+        fork (the pool has not started yet, so forked children see the
+        parent's contexts) and for keys not worth precomputing (their
+        shared tables still fill lazily inside each worker).
+        """
+        payloads: Dict[Tuple[str, str], Optional[dict]] = {}
+        fork_inherits = (
+            self._pool is None
+            and multiprocessing.get_start_method() == "fork"
+        )
+        for key, indices in groups.items():
+            payloads[key] = None
+            specs = [points[i].spec for i in indices]
+            plain = [spec for spec in specs if spec.resilience is None]
+            if len(plain) < PREWARM_MIN_POINTS:
+                continue
+            context = _warm_context_for(plain[0])
+            if context is None or not context.prewarmable:
+                continue
+            prewarm_route_table(context)
+            metrics.prewarmed_keys += 1
+            if fork_inherits:
+                self._inherited_keys.add(key)
+            if key not in self._inherited_keys:
+                assert context.route_source is not None
+                payloads[key] = serialize_route_table(
+                    context.topology, context.route_source.export_table()
+                )
+        return payloads
 
     def _run_parallel(
         self,
@@ -866,22 +1076,61 @@ class SweepExecutor:
         outcomes: List[Optional[PointOutcome]],
         metrics: ExecutorMetrics,
     ) -> None:
-        workers = min(self.jobs, len(missing))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {}
-            for i in missing:
-                self.hooks.on_point_start(points[i])
-                futures[pool.submit(_run_point_job, points[i].spec)] = i
+        """Fan the missing points out over the persistent pool.
+
+        Points are grouped by ``(topology, routing)`` key and each group
+        is split into at most ``jobs`` strided chunks (striding
+        interleaves cheap low-load and expensive saturated points), so
+        a worker runs same-key points back to back against one warm
+        context — the batched, reuse-maximizing schedule.  With
+        ``warm`` off, every point is its own single-spec batch (the
+        legacy cold schedule).
+        """
+        groups: Dict[Tuple[str, str], List[int]] = {}
+        for i in missing:
+            spec = points[i].spec
+            groups.setdefault((spec.topology, spec.routing), []).append(i)
+        payloads: Dict[Tuple[str, str], Optional[dict]] = {}
+        if self.warm:
+            payloads = self._prewarm_groups(points, groups, metrics)
+        pool = self._ensure_pool()
+        futures = {}
+        for key, indices in groups.items():
+            if self.warm:
+                chunk_count = min(self.jobs, len(indices))
+            else:
+                chunk_count = len(indices)
+            chunks = [indices[c::chunk_count] for c in range(chunk_count)]
+            for chunk in chunks:
+                for i in chunk:
+                    self.hooks.on_point_start(points[i])
+                future = pool.submit(
+                    _run_batch_job,
+                    [points[i].spec for i in chunk],
+                    self.warm,
+                    payloads.get(key),
+                )
+                futures[future] = chunk
+                metrics.batches += 1
+        try:
             pending = set(futures)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    i = futures[future]
-                    result, extras, obs_metrics, wall_time = future.result()
-                    outcomes[i] = self._complete_fresh(
-                        points[i], result, wall_time, metrics, extras,
-                        obs_metrics,
-                    )
+                    chunk = futures[future]
+                    for i, job_result in zip(chunk, future.result()):
+                        result, extras, obs_metrics, wall_time = job_result
+                        if self.warm and points[i].spec.resilience is None:
+                            metrics.warm_points += 1
+                        outcomes[i] = self._complete_fresh(
+                            points[i], result, wall_time, metrics, extras,
+                            obs_metrics,
+                        )
+        except BrokenProcessPool:
+            # A dead worker poisons the whole pool; drop it so the next
+            # run_points call starts a fresh one.
+            self.close()
+            raise
 
     # -- conveniences -------------------------------------------------
 

@@ -161,28 +161,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else None
     )
     hooks = ProgressPrinter() if args.progress else None
-    executor = SweepExecutor(
+    with SweepExecutor(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         hooks=hooks,
         require_certification=args.certify,
         manifest_dir=args.manifest_dir,
-    )
-    series_list = []
-    for algorithm in args.algorithm:
-        series = executor.sweep(
-            args.topology,
-            algorithm,
-            args.pattern,
-            loads,
-            config=config,
-            seed=args.seed,
-            stop_after_saturation=args.stop_after_saturation,
-            obs=obs,
-        )
-        series_list.append(series)
-        print(render_series_table(series))
-        print()
+    ) as executor:
+        series_list = []
+        for algorithm in args.algorithm:
+            series = executor.sweep(
+                args.topology,
+                algorithm,
+                args.pattern,
+                loads,
+                config=config,
+                seed=args.seed,
+                stop_after_saturation=args.stop_after_saturation,
+                obs=obs,
+            )
+            series_list.append(series)
+            print(render_series_table(series))
+            print()
+        effective_jobs = executor.jobs
     if args.out:
         from repro.obs.envelope import save_envelope
 
@@ -192,7 +193,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             pattern=args.pattern,
             loads=list(loads),
             seed=args.seed,
-            jobs=args.jobs,
+            jobs=effective_jobs,
         )
         save_envelope(payload, "sweep", args.out)
         print(f"[saved to {args.out}]")
@@ -223,12 +224,6 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         }
     )
     hooks = ProgressPrinter() if args.progress else None
-    executor = SweepExecutor(
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        hooks=hooks,
-        manifest_dir=args.manifest_dir,
-    )
     obs = (
         _obs_spec_for_windows(
             config.warmup_cycles, config.measure_cycles, config.drain_cycles
@@ -236,21 +231,27 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         if args.obs
         else None
     )
-    sweep = fault_sweep(
-        topology,
-        algorithms,
-        args.pattern,
-        load,
-        faults,
-        config=config,
-        seed=args.seed,
-        fault_seed=args.fault_seed,
-        policy=args.policy or preset.policy,
-        heal_after=args.heal_after,
-        recertify=not args.no_recertify,
-        executor=executor,
-        obs=obs,
-    )
+    with SweepExecutor(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        hooks=hooks,
+        manifest_dir=args.manifest_dir,
+    ) as executor:
+        sweep = fault_sweep(
+            topology,
+            algorithms,
+            args.pattern,
+            load,
+            faults,
+            config=config,
+            seed=args.seed,
+            fault_seed=args.fault_seed,
+            policy=args.policy or preset.policy,
+            heal_after=args.heal_after,
+            recertify=not args.no_recertify,
+            executor=executor,
+            obs=obs,
+        )
     print(render_fault_table(sweep))
     if args.out:
         from repro.obs.envelope import save_envelope
@@ -326,23 +327,38 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
-    from repro.sim.bench import apply_baseline, render_report, run_bench
+    progress = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
+    if args.sweep:
+        from repro.analysis.bench_sweep import (
+            apply_baseline,
+            render_sweep_report,
+            run_sweep_bench,
+        )
 
-    payload = run_bench(
-        args.scenario,
-        quick=args.quick,
-        repeat=args.repeat,
-        progress=lambda msg: print(msg, file=sys.stderr),
-    )
+        payload = run_sweep_bench(
+            args.scenario, quick=args.quick, jobs=args.jobs,
+            progress=progress,
+        )
+        render, tool = render_sweep_report, "bench-sweep"
+        out = args.out if args.out is not None else "BENCH_sweep.json"
+    else:
+        from repro.sim.bench import apply_baseline, render_report, run_bench
+
+        payload = run_bench(
+            args.scenario, quick=args.quick, repeat=args.repeat,
+            progress=progress,
+        )
+        render, tool = render_report, "bench"
+        out = args.out if args.out is not None else "BENCH_engine.json"
     if args.baseline:
         with open(args.baseline) as fh:
             apply_baseline(payload, json.load(fh))
-    print(render_report(payload))
-    if args.out != "-":
+    print(render(payload))
+    if out != "-":
         from repro.obs.envelope import save_envelope
 
-        save_envelope(payload, "bench", args.out)
-        print(f"[saved to {args.out}]")
+        save_envelope(payload, tool, out)
+        print(f"[saved to {out}]")
     return 0
 
 
@@ -470,7 +486,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--load-stop", type=float, default=0.6)
     p_sweep.add_argument("--load-count", type=int, default=8)
     p_sweep.add_argument(
-        "--jobs", type=int, default=1, help="parallel worker processes"
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel worker processes (default: one per CPU)",
     )
     p_sweep.add_argument(
         "--cache-dir", default=None, help="reuse cached simulation points"
@@ -630,25 +649,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.set_defaults(func=_cmd_verify)
 
     p_bench = sub.add_parser(
-        "bench", help="engine speed benchmark (cycles/sec, flit-moves/sec)"
+        "bench",
+        help="speed benchmarks: engine cycles/sec, or sweep points/sec "
+        "with --sweep",
     )
     p_bench.add_argument(
-        "--quick", action="store_true", help="CI-sized runs (800 cycles each)"
+        "--sweep",
+        action="store_true",
+        help="benchmark the sweep executor (points/sec, serial vs "
+        "cold-spawn vs warm pool) instead of the engine",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true", help="CI-sized runs"
     )
     p_bench.add_argument(
         "--scenario", nargs="+", default=None, help="subset of scenarios"
     )
     p_bench.add_argument(
         "--repeat", type=int, default=1,
-        help="repetitions per scenario (best wall time wins)",
+        help="repetitions per scenario (best wall time wins; engine "
+        "bench only)",
+    )
+    p_bench.add_argument(
+        "--jobs", type=int, default=None,
+        help="warm-pool worker processes (sweep bench only; default: "
+        "one per CPU)",
     )
     p_bench.add_argument(
         "--baseline", default=None,
-        help="previous BENCH_engine.json to compute speedups against",
+        help="previous bench JSON to compute speedups against",
     )
     p_bench.add_argument(
-        "--out", default="BENCH_engine.json",
-        help="output JSON path ('-' to skip writing)",
+        "--out", default=None,
+        help="output JSON path ('-' to skip writing; default "
+        "BENCH_engine.json, or BENCH_sweep.json with --sweep)",
     )
     p_bench.set_defaults(func=_cmd_bench)
 

@@ -78,6 +78,7 @@ def build_manifest(
     series: str = "",
     index: int = 0,
     git_version: Optional[str] = None,
+    executor: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble the manifest document for one completed point.
 
@@ -94,6 +95,10 @@ def build_manifest(
         series: sweep-series label the point belonged to.
         index: position within its series.
         git_version: code version; defaults to :func:`git_describe`.
+        executor: how the executor ran the point, e.g.
+            ``{"jobs": 8, "warm": True}`` — the effective worker count
+            (after a ``jobs=None`` request resolves to the CPU count)
+            and whether warm-state reuse was on.
     """
     from repro.analysis.results_io import result_to_dict
 
@@ -107,6 +112,7 @@ def build_manifest(
         "point": {"series": series, "index": index},
         "spec": spec.to_dict(),
         "timings": {"wall_time_s": wall_time_s, "cached": cached},
+        "executor": executor,
         "certification": certification,
         "resilience": resilience,
         "metrics": metrics,

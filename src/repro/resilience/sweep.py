@@ -210,8 +210,13 @@ def fault_sweep(
                     index=count,
                 )
             )
-    runner = executor if executor is not None else SweepExecutor()
-    outcomes: List[PointOutcome] = runner.run_points(points)
+    if executor is not None:
+        outcomes: List[PointOutcome] = executor.run_points(points)
+    else:
+        # A self-created executor owns its worker pool; close it (via the
+        # context manager) rather than leaking workers to the GC.
+        with SweepExecutor() as runner:
+            outcomes = runner.run_points(points)
     cells = tuple(
         FaultSweepCell(
             algorithm=outcome.point.series,

@@ -41,18 +41,28 @@ class RouteCache:
         resolve: optional mapping applied to each returned channel once,
             at fill time (e.g. the engine's channel-state lookup).  When
             omitted, the cache stores the raw channel tuples.
+        source: optional *raw* cache (one built without ``resolve``)
+            consulted on a miss before falling back to
+            ``routing.route``.  A warm sweep shares one raw cache per
+            ``(topology, algorithm)`` across every run, so a routing
+            state any earlier run visited costs this cache a dict
+            lookup plus resolution — never a route recomputation.  The
+            source must memoize the same algorithm (same name and key
+            shape); it is dropped on :meth:`retarget`, because a
+            degraded relation no longer matches the shared table.
 
     Attributes:
         hits, misses: lookup counters, reported by ``repro bench``.
     """
 
     __slots__ = ("routing", "_resolve", "_table", "_keyed_on_in_channel",
-                 "hits", "misses")
+                 "_source", "hits", "misses")
 
     def __init__(
         self,
         routing: RoutingAlgorithm,
         resolve: Optional[Callable[[Channel], object]] = None,
+        source: Optional["RouteCache"] = None,
     ):
         if not getattr(routing, "cacheable", True):
             raise ValueError(
@@ -66,6 +76,23 @@ class RouteCache:
         # (node, dest), collapsing every arrival channel of a router —
         # fewer misses and cheaper keys.
         self._keyed_on_in_channel = getattr(routing, "uses_in_channel", True)
+        if source is not None:
+            if source._resolve is not None:
+                raise ValueError(
+                    "a route-cache source must store raw channels "
+                    "(it was built with a resolve mapping)"
+                )
+            if source._keyed_on_in_channel != self._keyed_on_in_channel:
+                raise ValueError(
+                    "route-cache source keys routes differently "
+                    "(uses_in_channel mismatch)"
+                )
+            if source.routing.name != routing.name:
+                raise ValueError(
+                    f"route-cache source memoizes {source.routing.name!r}, "
+                    f"not {routing.name!r}"
+                )
+        self._source = source
         self.hits = 0
         self.misses = 0
 
@@ -87,7 +114,11 @@ class RouteCache:
         if cached is not None:
             self.hits += 1
             return cached
-        channels = tuple(self.routing.route(in_channel, node, dest))
+        source = self._source
+        if source is not None:
+            channels = source.candidates(in_channel, node, dest)
+        else:
+            channels = tuple(self.routing.route(in_channel, node, dest))
         resolve = self._resolve
         if resolve is not None:
             resolved = tuple(resolve(channel) for channel in channels)
@@ -103,6 +134,31 @@ class RouteCache:
     def clear(self) -> None:
         """Drop all memoized routes (counters are kept)."""
         self._table.clear()
+
+    def prefill(self, table: Dict[tuple, tuple]) -> None:
+        """Install precomputed raw entries (counters untouched).
+
+        Only raw caches (no ``resolve``) accept a prefill — the entries
+        are channel tuples, not resolved states.  Entries this cache
+        already holds win over the incoming ones (they are identical by
+        purity; keeping them preserves tuple identity for callers).
+        """
+        if self._resolve is not None:
+            raise ValueError(
+                "cannot prefill a resolving cache with raw channel tuples"
+            )
+        merged = dict(table)
+        merged.update(self._table)
+        self._table = merged
+
+    def export_table(self) -> Dict[tuple, tuple]:
+        """A snapshot of the memoized entries (raw caches only)."""
+        if self._resolve is not None:
+            raise ValueError(
+                "a resolving cache's entries are per-run states; only "
+                "raw caches export portable tables"
+            )
+        return dict(self._table)
 
     def retarget(self, routing: RoutingAlgorithm) -> None:
         """Swap the memoized algorithm, keeping compatible entries.
@@ -124,6 +180,9 @@ class RouteCache:
                 "algorithm (uses_in_channel mismatch); build a new cache"
             )
         self.routing = routing
+        # The shared source memoizes the healthy relation; the degraded
+        # one must re-derive its decisions, so stop consulting it.
+        self._source = None
 
     def invalidate_channels(self, channels: Iterable[Channel]) -> int:
         """Drop every entry whose decision could involve ``channels``.

@@ -38,11 +38,27 @@ class AllButOneNegativeFirstRouting(RoutingAlgorithm):
 
     def __init__(self, topology: Mesh):
         super().__init__(topology)
+        self._lanes = self.coordinate_lanes()
 
     def route(
         self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
     ) -> Sequence[Channel]:
         last_dim = self.topology.n_dims - 1
+        lanes = self._lanes
+        if lanes is not None:
+            first_phase = []
+            productive = []
+            for dim, is_neg, channel in lanes[node]:
+                if is_neg:
+                    if dest[dim] < node[dim]:
+                        productive.append(channel)
+                        if dim != last_dim:
+                            first_phase.append(channel)
+                elif dest[dim] > node[dim]:
+                    productive.append(channel)
+            if first_phase:
+                return tuple(first_phase)
+            return tuple(productive)
         productive = self.productive_channels(node, dest)
         first_phase = [
             ch
@@ -63,10 +79,27 @@ class AllButOnePositiveLastRouting(RoutingAlgorithm):
 
     def __init__(self, topology: Mesh):
         super().__init__(topology)
+        self._lanes = self.coordinate_lanes()
 
     def route(
         self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
     ) -> Sequence[Channel]:
+        lanes = self._lanes
+        if lanes is not None:
+            first_phase = []
+            productive = []
+            for dim, is_neg, channel in lanes[node]:
+                if is_neg:
+                    if dest[dim] < node[dim]:
+                        productive.append(channel)
+                        first_phase.append(channel)
+                elif dest[dim] > node[dim]:
+                    productive.append(channel)
+                    if dim == 0:
+                        first_phase.append(channel)
+            if first_phase:
+                return tuple(first_phase)
+            return tuple(productive)
         productive = self.productive_channels(node, dest)
         first_phase = [
             ch

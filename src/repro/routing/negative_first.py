@@ -29,10 +29,28 @@ class NegativeFirstRouting(RoutingAlgorithm):
 
     def __init__(self, topology: Mesh):
         super().__init__(topology)
+        # Per-node coordinate table (None on topologies where the
+        # coordinate-compare rule does not hold; route() then falls back
+        # to the generic direction machinery).
+        self._lanes = self.coordinate_lanes()
 
     def route(
         self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
     ) -> Sequence[Channel]:
+        lanes = self._lanes
+        if lanes is not None:
+            negative = []
+            positive = []
+            for dim, is_neg, channel in lanes[node]:
+                if is_neg:
+                    if dest[dim] < node[dim]:
+                        negative.append(channel)
+                elif dest[dim] > node[dim]:
+                    positive.append(channel)
+            if negative:
+                # All negative hops come before any positive hop.
+                return tuple(negative)
+            return tuple(positive)
         productive = self.productive_channels(node, dest)
         negative = [ch for ch in productive if ch.direction.is_negative]
         if negative:

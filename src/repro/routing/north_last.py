@@ -30,10 +30,32 @@ class NorthLastRouting(RoutingAlgorithm):
         if topology.n_dims != 2:
             raise ValueError("north-last routing is defined for 2D meshes")
         super().__init__(topology)
+        self._lanes = self.coordinate_lanes()
 
     def route(
         self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
     ) -> Sequence[Channel]:
+        lanes = self._lanes
+        if lanes is not None:
+            northward = dest[1] > node[1]
+            productive = []
+            before_north = []
+            for dim, is_neg, channel in lanes[node]:
+                if is_neg:
+                    if dest[dim] < node[dim]:
+                        productive.append(channel)
+                        before_north.append(channel)
+                elif dest[dim] > node[dim]:
+                    productive.append(channel)
+                    if dim != 1:
+                        before_north.append(channel)
+            if not northward:
+                # No northward travel needed: fully adaptive among W/S/E.
+                return tuple(productive)
+            if before_north:
+                # Northward hops wait until the other dimension resolves.
+                return tuple(before_north)
+            return tuple(productive)
         productive = self.productive_channels(node, dest)
         if dest[1] <= node[1]:
             # No northward travel needed: fully adaptive among W/S/E.

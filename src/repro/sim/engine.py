@@ -103,6 +103,7 @@ class WormholeSimulator:
         trace: Optional[TraceRecorder] = None,
         resilience: Optional["FaultController"] = None,
         obs: Optional["MetricsCollector"] = None,
+        route_source: Optional[RouteCache] = None,
     ):
         """
         Args:
@@ -128,6 +129,12 @@ class WormholeSimulator:
                 run.  Every hook is read-only and the collector draws
                 no numbers from the simulation's RNG streams, so
                 enabling it is bit-invisible to results and traces.
+            route_source: optional shared *raw*
+                :class:`~repro.routing.cache.RouteCache` for the same
+                algorithm (see :mod:`repro.analysis.prewarm`).  The
+                run's private cache consults it on a miss before
+                recomputing a route — routing decisions are pure, so a
+                warmed run is bit-identical to a cold one.
         """
         self.topology = routing.topology
         if workload.pattern.topology is not self.topology:
@@ -190,7 +197,11 @@ class WormholeSimulator:
         # channels to their ChannelState up front so allocation is a
         # dict lookup away from its candidates.
         self._route_cache: Optional[RouteCache] = (
-            RouteCache(routing, resolve=self._net_states.__getitem__)
+            RouteCache(
+                routing,
+                resolve=self._net_states.__getitem__,
+                source=route_source,
+            )
             if getattr(routing, "cacheable", True)
             else None
         )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional, Union
 
 from repro.routing.base import RoutingAlgorithm
+from repro.routing.cache import RouteCache
 from repro.routing.registry import make_routing
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import WormholeSimulator
@@ -36,6 +37,7 @@ def simulate(
     config: Optional[SimulationConfig] = None,
     seed: int = 1,
     obs: Optional["MetricsCollector"] = None,
+    route_source: Optional[RouteCache] = None,
 ) -> SimulationResult:
     """Simulate one (routing, pattern, load) point and return its result.
 
@@ -54,6 +56,9 @@ def simulate(
         obs: optional :class:`~repro.obs.metrics.MetricsCollector`;
             bit-invisible sampling of channel utilization, latency, and
             throughput (read its ``summary()`` after the call).
+        route_source: optional shared raw route cache for the same
+            algorithm (:mod:`repro.analysis.prewarm`); bit-invisible to
+            the result, it only skips recomputing known routes.
 
     Returns:
         The run's :class:`SimulationResult`.
@@ -65,5 +70,7 @@ def simulate(
     workload = Workload(
         pattern=pattern, sizes=sizes, offered_load=offered_load, seed=seed
     )
-    simulator = WormholeSimulator(routing, workload, config, obs=obs)
+    simulator = WormholeSimulator(
+        routing, workload, config, obs=obs, route_source=route_source
+    )
     return simulator.run()

@@ -1,0 +1,147 @@
+"""Tests for the sweep benchmark harness (:mod:`repro.analysis.bench_sweep`)."""
+
+import json
+
+import pytest
+
+from repro.analysis.bench_sweep import (
+    SWEEP_BENCH_SCENARIOS,
+    SweepBenchScenario,
+    _combined_digest,
+    _scenario_points,
+    apply_baseline,
+    main,
+    render_sweep_report,
+    run_sweep_bench,
+)
+from repro.analysis.prewarm import clear_warm_contexts
+
+#: A deliberately tiny grid so the full three-mode measurement (which
+#: includes real spawned processes) stays test-sized.
+TINY = SweepBenchScenario(
+    "tiny-grid",
+    "4x4 mesh, two algorithms, two loads (test fixture)",
+    topology="mesh:4x4",
+    algorithms=("xy", "negative-first"),
+    pattern="uniform",
+    loads=(0.05, 0.10),
+    quick_loads=(0.05,),
+    seed=3,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_contexts():
+    clear_warm_contexts()
+    yield
+    clear_warm_contexts()
+
+
+@pytest.fixture()
+def tiny_registered(monkeypatch):
+    monkeypatch.setitem(SWEEP_BENCH_SCENARIOS, TINY.name, TINY)
+
+
+class TestScenarioDefinitions:
+    def test_registry_keys_match_names(self):
+        for name, scenario in SWEEP_BENCH_SCENARIOS.items():
+            assert scenario.name == name
+
+    def test_grid_shape(self):
+        scenario = SWEEP_BENCH_SCENARIOS["mesh16-grid"]
+        points = _scenario_points(scenario, quick=False)
+        assert len(points) == len(scenario.algorithms) * len(scenario.loads)
+        quick = _scenario_points(scenario, quick=True)
+        assert len(quick) == len(scenario.algorithms) * len(
+            scenario.quick_loads
+        )
+        # Quick points are a subset of the full grid (same specs), so
+        # both modes exercise identical workloads per point.
+        full_specs = {point.spec for point in points}
+        assert all(point.spec in full_specs for point in quick)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown sweep bench scenario"):
+            run_sweep_bench(["no-such-grid"])
+
+
+class TestCombinedDigest:
+    def test_order_sensitive(self):
+        assert _combined_digest(["a", "b"]) != _combined_digest(["b", "a"])
+
+    def test_deterministic(self):
+        assert _combined_digest(["a", "b"]) == _combined_digest(["a", "b"])
+
+
+class TestRunSweepBench:
+    def test_payload_structure_and_digest_identity(self, tiny_registered):
+        messages = []
+        payload = run_sweep_bench(
+            [TINY.name], quick=True, jobs=2, progress=messages.append
+        )
+        assert messages and TINY.name in messages[0]
+        meta = payload["meta"]
+        assert meta["mode"] == "quick"
+        assert meta["jobs"] == 2
+        record = payload["scenarios"][TINY.name]
+        assert record["points_total"] == 2
+        assert set(record["modes"]) == {"serial", "cold_spawn", "warm_pool"}
+        for mode in record["modes"].values():
+            assert mode["wall_seconds"] > 0
+            assert mode["points_per_sec"] > 0
+        # The hard gate ran: a single digest survived all three modes.
+        assert record["result_digest"]
+        assert record["modes"]["warm_pool"]["executor"]["jobs"] == 2
+        assert record["speedup_warm_vs_cold"] > 0
+        # Round-trips to JSON (what BENCH_sweep.json stores).
+        json.dumps(payload)
+
+    def test_report_renders(self, tiny_registered):
+        payload = run_sweep_bench([TINY.name], quick=True, jobs=1)
+        report = render_sweep_report(payload)
+        assert TINY.name in report
+        assert "warm/cold" in report
+
+
+class TestApplyBaseline:
+    def test_annotates_speedup(self):
+        payload = {
+            "scenarios": {"grid": {"points_per_sec": 30.0}},
+        }
+        baseline = {"scenarios": {"grid": {"points_per_sec": 10.0}}}
+        apply_baseline(payload, baseline)
+        record = payload["scenarios"]["grid"]
+        assert record["baseline_points_per_sec"] == 10.0
+        assert record["speedup_vs_baseline"] == pytest.approx(3.0)
+
+    def test_missing_scenario_is_skipped(self):
+        payload = {"scenarios": {"grid": {"points_per_sec": 30.0}}}
+        apply_baseline(payload, {"scenarios": {}})
+        assert "speedup_vs_baseline" not in payload["scenarios"]["grid"]
+
+
+class TestMain:
+    def test_writes_payload(self, tiny_registered, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(
+            ["--quick", "--scenario", TINY.name, "--jobs", "1",
+             "--out", str(out)]
+        )
+        assert code == 0
+        saved = json.loads(out.read_text())
+        assert TINY.name in saved["scenarios"]
+        assert "saved to" in capsys.readouterr().out
+
+    def test_baseline_option(self, tiny_registered, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {"scenarios": {TINY.name: {"points_per_sec": 0.001}}}
+            )
+        )
+        code = main(
+            ["--quick", "--scenario", TINY.name, "--jobs", "1",
+             "--baseline", str(baseline), "--out", "-"]
+        )
+        assert code == 0
+        assert "vs baseline" in capsys.readouterr().out

@@ -1,0 +1,204 @@
+"""Tests for the artifact precomputation layer (:mod:`repro.analysis.prewarm`)."""
+
+import pytest
+
+from repro.analysis.prewarm import (
+    MAX_WARM_CONTEXTS,
+    build_route_table,
+    clear_warm_contexts,
+    deserialize_route_table,
+    get_warm_context,
+    load_route_table,
+    peek_warm_context,
+    prewarm_route_table,
+    serialize_route_table,
+    warm_context_count,
+    warm_key,
+)
+from repro.routing.cache import RouteCache
+from repro.routing.registry import make_routing
+from repro.topology import parse_topology
+
+
+@pytest.fixture(autouse=True)
+def _fresh_contexts():
+    clear_warm_contexts()
+    yield
+    clear_warm_contexts()
+
+
+class TestWarmKey:
+    def test_canonicalizes_spelling(self):
+        assert warm_key("Mesh:4x4", "negative_first") == (
+            "mesh:4x4",
+            "negative-first",
+        )
+
+    def test_context_key_matches(self):
+        context = get_warm_context("mesh:4x4", "xy")
+        assert context.key == ("mesh:4x4", "xy")
+
+
+class TestContextCache:
+    def test_same_key_returns_same_context(self):
+        first = get_warm_context("mesh:4x4", "xy")
+        second = get_warm_context("mesh:4x4", "XY")
+        assert first is second
+        assert warm_context_count() == 1
+
+    def test_peek_does_not_create(self):
+        assert peek_warm_context("mesh:4x4", "xy") is None
+        get_warm_context("mesh:4x4", "xy")
+        assert peek_warm_context("mesh:4x4", "xy") is not None
+
+    def test_lru_eviction_bounds_memory(self):
+        for i in range(MAX_WARM_CONTEXTS + 3):
+            get_warm_context(f"mesh:{i + 2}x2", "xy")
+        assert warm_context_count() == MAX_WARM_CONTEXTS
+        # The oldest keys were evicted.
+        assert peek_warm_context("mesh:2x2", "xy") is None
+
+    def test_clear(self):
+        get_warm_context("mesh:4x4", "xy")
+        clear_warm_contexts()
+        assert warm_context_count() == 0
+
+    def test_shared_objects_are_reused(self):
+        context = get_warm_context("mesh:4x4", "west-first")
+        assert context.topology is get_warm_context(
+            "mesh:4x4", "west-first"
+        ).topology
+        assert context.pattern("uniform") is context.pattern("uniform")
+
+
+class TestBuildRouteTable:
+    @pytest.mark.parametrize(
+        "spec,name",
+        [
+            ("mesh:4x4", "xy"),
+            ("mesh:4x4", "west-first"),
+            ("mesh:4x4", "negative-first"),
+            ("mesh:4x4", "north-last"),
+            ("mesh:3x3x3", "abonf"),
+            ("mesh:3x3x3", "abopl"),
+            ("cube:3", "e-cube"),
+        ],
+    )
+    def test_table_matches_route(self, spec, name):
+        topology = parse_topology(spec)
+        routing = make_routing(name, topology)
+        table = build_route_table(routing)
+        nodes = list(topology.nodes())
+        assert len(table) == len(nodes) * (len(nodes) - 1)
+        for (node, dest), channels in table.items():
+            assert channels == tuple(routing.route(None, node, dest))
+
+    def test_rejects_in_channel_dependent_routing(self):
+        topology = parse_topology("mesh:4x4")
+        routing = make_routing("negative-first-nonminimal", topology)
+        assert routing.uses_in_channel
+        with pytest.raises(ValueError):
+            build_route_table(routing)
+
+
+class TestPrewarm:
+    def test_prewarm_fills_route_source(self):
+        context = get_warm_context("mesh:4x4", "negative-first")
+        assert context.prewarmable
+        added = prewarm_route_table(context)
+        nodes = list(context.topology.nodes())
+        assert added == len(nodes) * (len(nodes) - 1)
+        # Idempotent: a second call adds nothing.
+        assert prewarm_route_table(context) == 0
+
+    def test_prewarmed_source_agrees_with_routing(self):
+        context = get_warm_context("mesh:4x4", "west-first")
+        prewarm_route_table(context)
+        nodes = list(context.topology.nodes())
+        for node in nodes[:4]:
+            for dest in nodes:
+                if dest == node:
+                    continue
+                assert context.route_source.candidates(
+                    None, node, dest
+                ) == tuple(context.routing.route(None, node, dest))
+
+
+class TestSerializeRoundTrip:
+    def test_round_trip(self):
+        topology = parse_topology("mesh:4x4")
+        routing = make_routing("negative-first", topology)
+        table = build_route_table(routing)
+        payload = serialize_route_table(topology, table)
+        assert payload["format"] == 1
+        assert all(isinstance(value, int) for value in payload["entries"])
+        assert deserialize_route_table(topology, payload) == table
+
+    def test_load_into_context(self):
+        context = get_warm_context("mesh:4x4", "xy")
+        table = build_route_table(context.routing)
+        payload = serialize_route_table(context.topology, table)
+        clear_warm_contexts()
+        fresh = get_warm_context("mesh:4x4", "xy")
+        loaded = load_route_table(fresh, payload)
+        assert loaded == len(table)
+        assert len(fresh.route_source) == len(table)
+
+
+class TestRouteCacheSource:
+    def test_source_must_be_raw(self):
+        topology = parse_topology("mesh:4x4")
+        routing = make_routing("xy", topology)
+        resolved = RouteCache(routing, resolve=lambda channel: channel)
+        with pytest.raises(ValueError):
+            RouteCache(routing, source=resolved)
+
+    def test_miss_consults_source(self):
+        topology = parse_topology("mesh:4x4")
+        routing = make_routing("xy", topology)
+        source = RouteCache(routing)
+        source.prefill(build_route_table(routing))
+        calls = []
+        original_route = routing.route
+
+        def counting_route(in_channel, node, dest):
+            calls.append((node, dest))
+            return original_route(in_channel, node, dest)
+
+        routing.route = counting_route
+        cached = RouteCache(routing, source=source)
+        nodes = list(topology.nodes())
+        got = cached.candidates(None, nodes[0], nodes[5])
+        assert got == tuple(original_route(None, nodes[0], nodes[5]))
+        assert calls == []  # served from the shared table, not route()
+
+    def test_prefill_keeps_existing_entries(self):
+        topology = parse_topology("mesh:4x4")
+        routing = make_routing("xy", topology)
+        cache = RouteCache(routing)
+        nodes = list(topology.nodes())
+        first = cache.candidates(None, nodes[0], nodes[1])
+        cache.prefill({(nodes[0], nodes[1]): ("bogus",)})
+        assert cache.candidates(None, nodes[0], nodes[1]) == first
+
+    def test_prefill_rejects_resolving_cache(self):
+        topology = parse_topology("mesh:4x4")
+        routing = make_routing("xy", topology)
+        cache = RouteCache(routing, resolve=lambda channel: channel)
+        with pytest.raises(ValueError):
+            cache.prefill({})
+
+    def test_retarget_drops_source(self):
+        topology = parse_topology("mesh:4x4")
+        routing = make_routing("xy", topology)
+        source = RouteCache(routing)
+        source.prefill(build_route_table(routing))
+        cache = RouteCache(routing, source=source)
+        degraded = make_routing("yx", topology)
+        cache.retarget(degraded)
+        nodes = list(topology.nodes())
+        # Post-retarget decisions come from the degraded relation, not
+        # the healthy shared table.
+        assert cache.candidates(None, nodes[0], nodes[5]) == tuple(
+            degraded.route(None, nodes[0], nodes[5])
+        )

@@ -1,0 +1,97 @@
+"""Tests for the precomputed coordinate-lane fast paths (PR 7).
+
+``RoutingAlgorithm.coordinate_lanes`` gives plain-mesh algorithms a
+per-node lane table (dim, sign, channel) so their ``route`` hot paths
+skip per-call direction resolution.  These tests pin the contract: the
+fast path exists only where it is safe, and where it exists it is
+bit-identical to the generic direction-based fallback.
+"""
+
+import copy
+
+import pytest
+
+from repro.routing import make_routing
+from repro.topology import parse_topology
+
+#: (topology spec, algorithm) pairs whose route() carries a lane-table
+#: fast path.  Each is compared against its own generic fallback.
+FAST_PATH_CASES = [
+    ("mesh:5x4", "negative-first"),
+    ("mesh:6x6", "negative-first"),
+    ("mesh:5x4", "north-last"),
+    ("mesh:6x6", "north-last"),
+    ("mesh:3x3x3", "negative-first"),
+    ("mesh:3x3x3", "abonf"),
+    ("mesh:2x3x2x2", "abonf"),
+    ("mesh:3x3x3", "abopl"),
+    ("mesh:2x3x2x2", "abopl"),
+]
+
+
+def _generic_twin(routing):
+    """A copy of ``routing`` with the fast path disabled."""
+    twin = copy.copy(routing)
+    twin._lanes = None
+    return twin
+
+
+class TestCoordinateLanes:
+    def test_covers_every_node(self):
+        topology = parse_topology("mesh:4x4")
+        lanes = make_routing("xy", topology).coordinate_lanes()
+        assert lanes is not None
+        assert set(lanes) == set(topology.nodes())
+
+    def test_entries_match_out_channels(self):
+        topology = parse_topology("mesh:4x4")
+        routing = make_routing("xy", topology)
+        lanes = routing.coordinate_lanes()
+        for node, entries in lanes.items():
+            channels = [
+                ch for ch in topology.out_channels(node) if not ch.wraparound
+            ]
+            assert [entry[2] for entry in entries] == channels
+            for dim, is_negative, channel in entries:
+                assert channel.direction.dim == dim
+                assert channel.direction.is_negative == is_negative
+
+    @pytest.mark.parametrize(
+        "spec", ["torus:4x4", "hex:5", "oct:5", "cube:3"]
+    )
+    def test_none_off_plain_meshes(self, spec):
+        """Wraparound and overridden-direction topologies get no lanes:
+        their minimal-direction semantics are not a per-dim compare."""
+        topology = parse_topology(spec)
+        algorithm = (
+            "negative-first-torus" if "torus" in spec
+            else "e-cube" if "cube" in spec
+            else "hex-negative-first" if "hex" in spec
+            else "oct-negative-first"
+        )
+        assert make_routing(algorithm, topology).coordinate_lanes() is None
+
+
+class TestFastPathBitIdentity:
+    @pytest.mark.parametrize("spec,name", FAST_PATH_CASES)
+    def test_matches_generic_fallback_everywhere(self, spec, name):
+        topology = parse_topology(spec)
+        routing = make_routing(name, topology)
+        assert routing._lanes is not None
+        twin = _generic_twin(routing)
+        nodes = list(topology.nodes())
+        for node in nodes:
+            for dest in nodes:
+                if dest == node:
+                    continue
+                assert routing.route(None, node, dest) == twin.route(
+                    None, node, dest
+                ), (name, node, dest)
+
+    def test_fallback_used_on_torus(self):
+        """Torus variants route correctly without a lane table."""
+        topology = parse_topology("torus:4x4")
+        routing = make_routing("negative-first-torus", topology)
+        nodes = list(topology.nodes())
+        for dest in nodes[1:]:
+            assert routing.route(None, nodes[0], dest)
