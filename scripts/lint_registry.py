@@ -1,262 +1,40 @@
 #!/usr/bin/env python
-"""AST lint enforcing the routing-registry invariants.
+"""Registry-invariant lint — thin shim over :mod:`repro.lint`.
 
-Checks, without importing the package (pure ``ast`` so it runs anywhere
-the sources exist):
+Historically this script carried its own pure-``ast`` implementation of
+the four routing-registry checks.  Those checks now live in the reusable
+lint framework (``src/repro/lint/rules_registry.py``) alongside the
+determinism and engine-contract rules, and the canonical entry point is
+the CLI::
 
-1. Every routing class defined under ``src/repro/routing/`` (a class
-   whose name ends in ``Routing``, other than the ``RoutingAlgorithm``
-   base) declares ``uses_in_channel`` in its own class body.  The route
-   cache keys on this attribute; inheriting the base's conservative
-   default silently disables arrival-collapsing for algorithms that
-   never read the channel, and a wrong inherited value corrupts cached
-   decisions — so the declaration must be explicit and local.
+    repro lint                       # full catalog
+    repro lint --rule all-complete   # one rule
 
-2. Every ``_FACTORIES`` key in ``registry.py`` is already canonical
-   (``canonical_name`` is the identity on it): lookups canonicalize
-   before indexing, so a non-canonical key is unreachable.
-
-3. When a factory is a bare class reference and that class pins ``name``
-   as a class-body literal, the literal matches the registry key —
-   reports and legends would otherwise label the algorithm differently
-   than the CLI spells it.
-
-4. Every module under ``src/repro/routing/``, ``src/repro/core/``,
-   ``src/repro/verify/``, and ``src/repro/obs/`` defines ``__all__``,
-   every public top-level class/function appears in it, and every
-   listed name actually exists at module top level.
-
-Exit status 0 when clean, 1 with one line per violation otherwise.
+This shim keeps the old invocation (``python scripts/lint_registry.py``)
+working for muscle memory and external tooling: it runs exactly the four
+registry rules through the framework and exits 1 on findings, like the
+original.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Set
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-SRC = REPO_ROOT / "src" / "repro"
-LINTED_PACKAGES = ("routing", "core", "verify", "obs")
 
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
-def canonical_name(name: str) -> str:
-    """Mirror of :func:`repro.routing.registry.canonical_name`."""
-    return name.strip().lower().replace("_", "-")
-
-
-def _module_paths() -> List[Path]:
-    paths: List[Path] = []
-    for package in LINTED_PACKAGES:
-        paths.extend(sorted((SRC / package).glob("*.py")))
-    return paths
-
-
-def _class_body_assign(node: ast.ClassDef, attr: str) -> Optional[ast.expr]:
-    """The value assigned to ``attr`` in the class body, if any."""
-    for statement in node.body:
-        if isinstance(statement, ast.Assign):
-            for target in statement.targets:
-                if isinstance(target, ast.Name) and target.id == attr:
-                    return statement.value
-        if isinstance(statement, ast.AnnAssign):
-            target = statement.target
-            if (
-                isinstance(target, ast.Name)
-                and target.id == attr
-                and statement.value is not None
-            ):
-                return statement.value
-    return None
-
-
-def _string_constant(node: Optional[ast.expr]) -> Optional[str]:
-    if isinstance(node, ast.Constant) and isinstance(node.value, str):
-        return node.value
-    return None
-
-
-def check_uses_in_channel(tree: ast.Module, path: Path) -> List[str]:
-    """Invariant 1: routing classes declare ``uses_in_channel`` locally."""
-    problems: List[str] = []
-    for node in tree.body:
-        if not isinstance(node, ast.ClassDef):
-            continue
-        if not node.name.endswith("Routing"):
-            continue
-        if node.name == "RoutingAlgorithm":
-            continue
-        if _class_body_assign(node, "uses_in_channel") is None:
-            problems.append(
-                f"{path.relative_to(REPO_ROOT)}:{node.lineno}: class "
-                f"{node.name} does not declare uses_in_channel in its body"
-            )
-    return problems
-
-
-def _factories_dict(tree: ast.Module) -> Optional[ast.Dict]:
-    for node in tree.body:
-        targets: List[ast.expr] = []
-        value: Optional[ast.expr] = None
-        if isinstance(node, ast.Assign):
-            targets, value = list(node.targets), node.value
-        elif isinstance(node, ast.AnnAssign):
-            targets, value = [node.target], node.value
-        for target in targets:
-            if isinstance(target, ast.Name) and target.id == "_FACTORIES":
-                if isinstance(value, ast.Dict):
-                    return value
-    return None
-
-
-def _class_names_by_module(paths: List[Path]) -> Dict[str, Optional[str]]:
-    """Map class name -> its class-body ``name`` literal (or None)."""
-    names: Dict[str, Optional[str]] = {}
-    for path in paths:
-        tree = ast.parse(path.read_text(), filename=str(path))
-        for node in tree.body:
-            if isinstance(node, ast.ClassDef):
-                names[node.name] = _string_constant(
-                    _class_body_assign(node, "name")
-                )
-    return names
-
-
-def check_registry(paths: List[Path]) -> List[str]:
-    """Invariants 2 and 3: canonical keys; class-name literals match."""
-    registry_path = SRC / "routing" / "registry.py"
-    tree = ast.parse(registry_path.read_text(), filename=str(registry_path))
-    factories = _factories_dict(tree)
-    if factories is None:
-        return [f"{registry_path.relative_to(REPO_ROOT)}: _FACTORIES dict not found"]
-
-    problems: List[str] = []
-    class_names = _class_names_by_module(paths)
-    for key_node, value_node in zip(factories.keys, factories.values):
-        key = _string_constant(key_node)
-        if key is None:
-            problems.append(
-                f"{registry_path.relative_to(REPO_ROOT)}:"
-                f"{key_node.lineno if key_node else '?'}: "
-                "_FACTORIES key is not a string literal"
-            )
-            continue
-        if canonical_name(key) != key:
-            problems.append(
-                f"{registry_path.relative_to(REPO_ROOT)}:{key_node.lineno}: "
-                f"key {key!r} is not canonical "
-                f"(canonical form: {canonical_name(key)!r})"
-            )
-        if isinstance(value_node, ast.Name):
-            declared = class_names.get(value_node.id)
-            if declared is not None and declared != key:
-                problems.append(
-                    f"{registry_path.relative_to(REPO_ROOT)}:"
-                    f"{value_node.lineno}: class {value_node.id} pins "
-                    f"name={declared!r} but is registered as {key!r}"
-                )
-    return problems
-
-
-def _all_names(tree: ast.Module, path: Path) -> Optional[Set[str]]:
-    for node in tree.body:
-        if isinstance(node, ast.Assign):
-            targets = [
-                t.id for t in node.targets if isinstance(t, ast.Name)
-            ]
-            if "__all__" in targets:
-                if not isinstance(node.value, (ast.List, ast.Tuple)):
-                    return None
-                names: Set[str] = set()
-                for element in node.value.elts:
-                    text = _string_constant(element)
-                    if text is None:
-                        return None
-                    names.add(text)
-                return names
-    return None
-
-
-def _top_level_definitions(tree: ast.Module) -> Set[str]:
-    """Names bound at module top level: defs, classes, assigns, imports."""
-    defined: Set[str] = set()
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            defined.add(node.name)
-        elif isinstance(node, ast.Assign):
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    defined.add(target.id)
-        elif isinstance(node, ast.AnnAssign):
-            if isinstance(node.target, ast.Name):
-                defined.add(node.target.id)
-        elif isinstance(node, (ast.Import, ast.ImportFrom)):
-            for alias in node.names:
-                defined.add(alias.asname or alias.name.split(".")[0])
-    if "__getattr__" in defined:
-        # PEP 562 lazy re-exports: string keys of a top-level _LAZY dict
-        # are resolvable attributes even though never bound directly.
-        for node in tree.body:
-            if not isinstance(node, ast.Assign):
-                continue
-            if not any(
-                isinstance(t, ast.Name) and t.id == "_LAZY" for t in node.targets
-            ):
-                continue
-            if isinstance(node.value, ast.Dict):
-                for key in node.value.keys:
-                    text = _string_constant(key)
-                    if text is not None:
-                        defined.add(text)
-    return defined
-
-
-def check_all_coverage(tree: ast.Module, path: Path) -> List[str]:
-    """Invariant 4: ``__all__`` exists, is complete, and is accurate."""
-    relative = path.relative_to(REPO_ROOT)
-    declared = _all_names(tree, path)
-    if declared is None:
-        return [f"{relative}: missing or non-literal __all__"]
-
-    problems: List[str] = []
-    defined = _top_level_definitions(tree)
-    for name in sorted(declared):
-        if name not in defined:
-            problems.append(
-                f"{relative}: __all__ lists {name!r}, which is not defined "
-                "at module top level"
-            )
-    public = {
-        node.name
-        for node in tree.body
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
-        and not node.name.startswith("_")
-    }
-    for name in sorted(public - declared):
-        problems.append(
-            f"{relative}: public definition {name!r} is missing from __all__"
-        )
-    return problems
+from repro.lint import render_report, run_lint  # noqa: E402
+from repro.lint.rules_registry import RULES  # noqa: E402
 
 
 def main() -> int:
-    paths = _module_paths()
-    problems: List[str] = []
-    for path in paths:
-        tree = ast.parse(path.read_text(), filename=str(path))
-        if path.parent.name == "routing":
-            problems.extend(check_uses_in_channel(tree, path))
-        problems.extend(check_all_coverage(tree, path))
-    problems.extend(check_registry(paths))
-
-    if problems:
-        for line in problems:
-            print(line, file=sys.stderr)
-        print(f"lint_registry: {len(problems)} violations", file=sys.stderr)
-        return 1
-    print(f"lint_registry: {len(paths)} modules clean")
-    return 0
+    report = run_lint(
+        REPO_ROOT / "src" / "repro", rules=[rule.id for rule in RULES]
+    )
+    print(render_report(report))
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":

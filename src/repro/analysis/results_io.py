@@ -11,10 +11,13 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Union
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple, Union
 
 from repro.analysis.sweep import SweepPoint, SweepSeries
 from repro.sim.stats import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.figures import FigureResult
 
 __all__ = [
     "result_to_dict",
@@ -78,7 +81,7 @@ def figure_to_dict(figure) -> dict:
     }
 
 
-def figure_from_dict(data: dict):
+def figure_from_dict(data: dict) -> "FigureResult":
     """Rebuild a FigureResult saved by :func:`figure_to_dict`."""
     from repro.experiments.figures import FigureResult
 
@@ -90,7 +93,9 @@ def figure_from_dict(data: dict):
     )
 
 
-def sweep_run_to_dict(series_list, **metadata) -> dict:
+def sweep_run_to_dict(
+    series_list: "List[SweepSeries]", **metadata: Any
+) -> dict:
     """A multi-algorithm sweep run (``repro sweep`` output) as a dict.
 
     Args:
@@ -105,7 +110,9 @@ def sweep_run_to_dict(series_list, **metadata) -> dict:
     }
 
 
-def sweep_run_from_dict(data: dict):
+def sweep_run_from_dict(
+    data: dict,
+) -> Tuple[List[SweepSeries], Dict[str, Any]]:
     """Rebuild ``(series_list, metadata)`` from :func:`sweep_run_to_dict`."""
     if data.get("kind") != "sweep-run":
         raise ValueError(f"not a sweep-run payload: kind={data.get('kind')!r}")
@@ -113,7 +120,7 @@ def sweep_run_from_dict(data: dict):
     return series_list, dict(data.get("metadata", {}))
 
 
-def save_json(obj, path: Union[str, Path]) -> None:
+def save_json(obj: object, path: Union[str, Path]) -> None:
     """Serialize a result/series/figure (or a prepared dict) to a file."""
     from repro.experiments.figures import FigureResult
 
@@ -130,6 +137,6 @@ def save_json(obj, path: Union[str, Path]) -> None:
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
 
 
-def load_figure(path: Union[str, Path]):
+def load_figure(path: Union[str, Path]) -> "FigureResult":
     """Load a FigureResult archived with :func:`save_json`."""
     return figure_from_dict(json.loads(Path(path).read_text()))

@@ -13,6 +13,7 @@ from typing import Optional, Union
 from repro.routing.base import RoutingAlgorithm
 from repro.sim.config import SimulationConfig
 from repro.sim.simulator import simulate
+from repro.sim.stats import SimulationResult
 from repro.topology.base import Topology
 from repro.traffic.patterns import TrafficPattern
 from repro.traffic.workload import PAPER_SIZES, SizeDistribution
@@ -49,7 +50,7 @@ def find_sustainable_load(
     if not low < high:
         raise ValueError(f"need low < high, got {low} >= {high}")
 
-    def probe(load: float):
+    def probe(load: float) -> SimulationResult:
         return simulate(
             topology, algorithm, pattern,
             offered_load=load, sizes=sizes, config=config, seed=seed,

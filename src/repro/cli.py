@@ -11,6 +11,7 @@ Subcommands::
     turnmodel resilience --preset quick # fault-injection delivered-fraction sweep
     turnmodel deadlock --figure 1       # watch an unsafe algorithm deadlock
     turnmodel verify --all              # statically certify every algorithm
+    turnmodel lint                      # determinism & invariant lint over src
     turnmodel bench --quick             # engine cycles/sec benchmark
     turnmodel report runs/manifest-*.json   # metrics report from manifests
     turnmodel list                      # available algorithms and patterns
@@ -322,6 +323,45 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             )
         return 1
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.lint import (
+        all_rules,
+        render_report,
+        report_payload,
+        run_lint,
+    )
+
+    if args.list_rules:
+        for rule_id, rule in all_rules().items():
+            print(f"{rule_id:20s} {rule.summary}")
+        return 0
+    root = Path(args.root) if args.root else None
+    try:
+        report = run_lint(root, rules=args.rule)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    payload = None
+    if args.format == "json" or args.out:
+        from repro.obs.envelope import attach_envelope
+
+        payload = attach_envelope(report_payload(report), "lint")
+    if args.format == "json":
+        assert payload is not None
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_report(report, verbose=args.verbose))
+    if args.out:
+        from repro.obs.envelope import save_envelope
+
+        save_envelope(report_payload(report), "lint", args.out)
+        print(f"[saved to {args.out}]", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -647,6 +687,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write the full JSON report (certificates included)"
     )
     p_verify.set_defaults(func=_cmd_verify)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="determinism & invariant lint: AST static analysis of the "
+        "repro sources (exit 1 on findings)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (json prints the enveloped document)",
+    )
+    p_lint.add_argument(
+        "--rule",
+        nargs="+",
+        default=None,
+        help="run only these rule ids (default: the full catalog)",
+    )
+    p_lint.add_argument(
+        "--root",
+        default=None,
+        help="source tree to lint (default: the installed repro package)",
+    )
+    p_lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    p_lint.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list pragma-suppressed findings with their reasons",
+    )
+    p_lint.add_argument(
+        "--out", default=None, help="write the report as enveloped JSON"
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_bench = sub.add_parser(
         "bench",

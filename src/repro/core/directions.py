@@ -54,7 +54,7 @@ class Direction:
         # Directions key the routing hot path's sets and dicts; cache the
         # hash with the exact value the frozen dataclass would generate,
         # so hash-ordered containers iterate identically either way.
-        object.__setattr__(self, "_hash", hash((self.dim, self.sign)))
+        object.__setattr__(self, "_hash", hash((self.dim, self.sign)))  # repro-lint: allow[hash-stability] both operands are ints; PYTHONHASHSEED-independent
 
     def __hash__(self) -> int:
         return self._hash  # type: ignore[attr-defined]

@@ -1,0 +1,60 @@
+"""Determinism & invariant lint: a pure-AST static-analysis framework.
+
+Every result this reproduction publishes is trusted because runs are
+bit-identical to golden digests — and the invariants that guarantee
+determinism (seed-derived RNGs, ``is not None``-guarded engine hooks,
+frozen content-hashed specs, hash-stable routing decisions) were until
+now enforced purely by convention.  This package gives the *codebase*
+invariants the same static treatment the routing algorithms get from
+:mod:`repro.verify`: a rule registry, per-finding ``file:line:rule-id``
+reports, JSON envelope output, and inline suppression pragmas that
+require a written justification::
+
+    value = hash((src, dest))  # repro-lint: allow[hash-stability] int-only operands
+
+The framework never imports the code it checks — modules are parsed
+with :mod:`ast` only, so the linter runs anywhere the sources exist and
+cannot be fooled (or broken) by import-time side effects.
+
+Entry points: ``repro lint`` on the command line, or
+:func:`run_lint` / :func:`default_root` programmatically.  Rule catalog
+and pragma grammar are documented in ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.findings import (
+    Finding,
+    Pragma,
+    SuppressedFinding,
+    parse_pragmas,
+)
+from repro.lint.framework import (
+    LintReport,
+    ModuleContext,
+    Project,
+    Rule,
+    all_rules,
+    default_root,
+    load_project,
+    render_report,
+    report_payload,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "Pragma",
+    "Project",
+    "Rule",
+    "SuppressedFinding",
+    "all_rules",
+    "default_root",
+    "load_project",
+    "parse_pragmas",
+    "render_report",
+    "report_payload",
+    "run_lint",
+]

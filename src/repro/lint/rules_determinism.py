@@ -1,0 +1,306 @@
+"""Determinism rules: seeded RNGs, no wall clock, stable hashes.
+
+These three rules police the properties that make golden digests
+meaningful: every random draw must come from a seed-derived generator,
+no digest-relevant value may depend on the wall clock, and any use of
+the builtin ``hash()`` on a path that feeds routing decisions or result
+digests must be justified as hash-seed independent (int-only operands —
+CPython hashes ints and tuples of ints identically under every
+``PYTHONHASHSEED``, but strings, bytes, and datetimes it does not).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.framework import (
+    ModuleContext,
+    Project,
+    Rule,
+    display_path,
+    dotted_name,
+)
+
+__all__ = [
+    "RULES",
+    "HashStabilityRule",
+    "NoWallclockRule",
+    "SeededRngRule",
+]
+
+#: Packages whose code runs inside (or decides) a simulation: a module-
+#: global RNG draw here silently couples results to import order.
+_RNG_PACKAGES = ("sim", "routing", "traffic", "resilience", "core", "topology")
+
+#: Packages whose outputs feed result digests or cached artifacts.
+_CLOCK_PACKAGES = _RNG_PACKAGES + ("analysis", "experiments", "obs")
+
+#: Packages where a builtin ``hash()`` call can reach a routing decision
+#: or a digested value.
+_HASH_PACKAGES = _RNG_PACKAGES + ("analysis",)
+
+
+def _import_aliases(tree: ast.Module, module_name: str) -> Set[str]:
+    """Local names bound to ``module_name`` by plain imports."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module_name:
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _from_imports(tree: ast.Module, module_name: str) -> Dict[str, str]:
+    """Local name -> imported attribute for ``from module import ...``."""
+    names: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module_name:
+            for alias in node.names:
+                names[alias.asname or alias.name] = alias.name
+    return names
+
+
+class SeededRngRule(Rule):
+    """No module-global ``random.*`` draws; every ``Random()`` is seeded.
+
+    The simulator's contract is that every stochastic choice flows from
+    an explicit seed: workloads seed one ``random.Random`` per source,
+    fault schedules derive theirs from the spec, and selection policies
+    receive theirs through :class:`~repro.routing.selection.SelectionContext`.
+    A call on the module-global ``random`` (or an unseeded/OS-entropy
+    generator) breaks bit-reproducibility invisibly.
+    """
+
+    id = "seeded-rng"
+    summary = (
+        "no module-global random.* draws or unseeded Random() in "
+        "simulation packages; RNGs are parameters or seed-derived"
+    )
+    packages = _RNG_PACKAGES
+
+    def check_module(
+        self, module: ModuleContext, project: Project
+    ) -> Iterator[Finding]:
+        aliases = _import_aliases(module.tree, "random")
+        from_random = _from_imports(module.tree, "random")
+        path = display_path(module.path)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(node, path, aliases, from_random)
+            elif isinstance(node, ast.keyword):
+                yield from self._check_keyword(node, path, aliases, from_random)
+
+    def _check_call(
+        self,
+        node: ast.Call,
+        path: str,
+        aliases: Set[str],
+        from_random: Dict[str, str],
+    ) -> Iterator[Finding]:
+        func = node.func
+        attr: str = ""
+        if isinstance(func, ast.Attribute):
+            base = dotted_name(func.value)
+            if base is None or base not in aliases:
+                return
+            attr = func.attr
+        elif isinstance(func, ast.Name) and func.id in from_random:
+            attr = from_random[func.id]
+        else:
+            return
+        if attr == "Random":
+            if not node.args and not node.keywords:
+                yield Finding(
+                    path,
+                    node.lineno,
+                    self.id,
+                    "unseeded random.Random() — pass an explicit seed "
+                    "derived from the experiment spec",
+                )
+            return
+        if attr == "SystemRandom":
+            yield Finding(
+                path,
+                node.lineno,
+                self.id,
+                "random.SystemRandom draws OS entropy; results become "
+                "unreproducible",
+            )
+            return
+        yield Finding(
+            path,
+            node.lineno,
+            self.id,
+            f"module-global random.{attr}() call — draw from a "
+            "seed-derived random.Random passed in instead",
+        )
+
+    def _check_keyword(
+        self,
+        node: ast.keyword,
+        path: str,
+        aliases: Set[str],
+        from_random: Dict[str, str],
+    ) -> Iterator[Finding]:
+        if node.arg != "default_factory":
+            return
+        value = dotted_name(node.value)
+        if value is None:
+            return
+        is_random_cls = any(value == f"{alias}.Random" for alias in aliases) or (
+            value in from_random and from_random[value] == "Random"
+        )
+        if is_random_cls:
+            yield Finding(
+                path,
+                node.value.lineno,
+                self.id,
+                "default_factory=random.Random constructs an unseeded "
+                "RNG per instance",
+            )
+
+
+#: ``module.attr`` call targets that read the wall clock.  Matched on
+#: the trailing two components so ``datetime.datetime.now`` hits too.
+_WALLCLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.ctime",
+    "time.localtime",
+    "time.gmtime",
+    "time.strftime",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+}
+
+#: ``from X import Y`` forms that resolve to a wall-clock read.
+_WALLCLOCK_FROM = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "ctime"),
+    ("time", "localtime"),
+    ("time", "gmtime"),
+    ("time", "strftime"),
+}
+
+
+class NoWallclockRule(Rule):
+    """No wall-clock reads in digest-relevant packages.
+
+    ``time.perf_counter`` is deliberately *allowed*: it is a monotonic
+    duration meter and only ever lands in timing metadata
+    (``wall_time_s``, bench reports), never in a digested result field.
+    ``time.time()`` and ``datetime.now()`` are not — a timestamp that
+    leaks into a result, spec, or cache key breaks bit-identity between
+    runs.  Genuinely metadata-only stamps (the run manifest's
+    ``created_unix``) carry an ``allow[no-wallclock]`` pragma naming
+    that justification.
+    """
+
+    id = "no-wallclock"
+    summary = (
+        "no time.time()/datetime.now() in digest-relevant packages "
+        "(perf_counter durations are fine; metadata stamps need a pragma)"
+    )
+    packages = _CLOCK_PACKAGES
+
+    def check_module(
+        self, module: ModuleContext, project: Project
+    ) -> Iterator[Finding]:
+        from_time = _from_imports(module.tree, "time")
+        path = display_path(module.path)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                name = dotted_name(func)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                tail = ".".join(parts[-2:])
+                if tail in _WALLCLOCK_CALLS:
+                    yield Finding(
+                        path,
+                        node.lineno,
+                        self.id,
+                        f"wall-clock read {name}() in a digest-relevant "
+                        "package",
+                    )
+            elif isinstance(func, ast.Name):
+                target = from_time.get(func.id)
+                if target is not None and ("time", target) in _WALLCLOCK_FROM:
+                    yield Finding(
+                        path,
+                        node.lineno,
+                        self.id,
+                        f"wall-clock read time.{target}() in a "
+                        "digest-relevant package",
+                    )
+
+
+class HashStabilityRule(Rule):
+    """Builtin ``hash()`` on digest paths needs an int-only justification.
+
+    CPython randomizes ``str``/``bytes`` hashing per interpreter
+    (``PYTHONHASHSEED``), so a routing decision or cache key derived
+    from ``hash()`` is only reproducible when every operand hashes
+    seed-independently — ints, and tuples/frozensets built solely from
+    them.  Every ``hash()`` call in scope must therefore carry an
+    ``allow[hash-stability]`` pragma asserting exactly that, e.g. the
+    lane chooser in ``routing/virtual_channels.py`` hashing a pair of
+    int-tuple node ids.
+    """
+
+    id = "hash-stability"
+    summary = (
+        "builtin hash() reachable from routing/digest paths must carry "
+        "an allow pragma asserting int-only operands"
+    )
+    packages = _HASH_PACKAGES
+
+    def check_module(
+        self, module: ModuleContext, project: Project
+    ) -> Iterator[Finding]:
+        if _binds_name(module.tree, "hash"):
+            return
+        path = display_path(module.path)
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                yield Finding(
+                    path,
+                    node.lineno,
+                    self.id,
+                    "builtin hash() depends on PYTHONHASHSEED for "
+                    "str/bytes operands — justify int-only operands with "
+                    "an allow[hash-stability] pragma",
+                )
+
+
+def _binds_name(tree: ast.Module, name: str) -> bool:
+    """Whether the module rebinds ``name`` (shadowing the builtin)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name == name:
+                return True
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return True
+    return False
+
+
+RULES: Tuple[Rule, ...] = (
+    SeededRngRule(),
+    NoWallclockRule(),
+    HashStabilityRule(),
+)

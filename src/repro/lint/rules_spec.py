@@ -1,0 +1,137 @@
+"""Spec-hygiene rule: content-hashed spec dataclasses stay frozen.
+
+The executor's result cache and every archived artifact key on the
+sha256 content hash of an :class:`~repro.analysis.executor.ExperimentSpec`
+and the spec dataclasses nested inside it (``ConfigSpec``,
+``ResilienceSpec``, ``ObsSpec``, ...).  A spec that can mutate after
+hashing — or that carries a mutable default silently shared between
+instances — corrupts cache keys and archived results.  The naming
+convention is load-bearing: every ``@dataclass`` whose name ends in
+``Spec`` is part of the hashed vocabulary and must be ``frozen=True``
+with immutable defaults.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.framework import (
+    ModuleContext,
+    Project,
+    Rule,
+    display_path,
+    dotted_name,
+)
+
+__all__ = ["RULES", "FrozenSpecRule"]
+
+#: Calls whose result is a fresh mutable container.
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray"}
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> Optional[ast.expr]:
+    """The ``@dataclass`` decorator node, bare or called, if present."""
+    for decorator in node.decorator_list:
+        name = dotted_name(
+            decorator.func if isinstance(decorator, ast.Call) else decorator
+        )
+        if name is not None and name.split(".")[-1] == "dataclass":
+            return decorator
+    return None
+
+
+def _is_frozen(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if (
+            keyword.arg == "frozen"
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is True
+        ):
+            return True
+    return False
+
+
+def _mutable_default(value: ast.expr) -> Optional[str]:
+    """Why ``value`` is a mutable (or shared-mutable) default, if it is."""
+    if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+        return "mutable literal default"
+    if isinstance(value, ast.Call):
+        name = dotted_name(value.func)
+        if name in _MUTABLE_FACTORIES:
+            return f"mutable default {name}()"
+        if name is not None and name.split(".")[-1] == "field":
+            for keyword in value.keywords:
+                if keyword.arg == "default_factory":
+                    factory = dotted_name(keyword.value)
+                    if factory in _MUTABLE_FACTORIES:
+                        return f"default_factory={factory} (mutable)"
+    return None
+
+
+class FrozenSpecRule(Rule):
+    """``*Spec`` dataclasses must be frozen with immutable defaults."""
+
+    id = "frozen-spec"
+    summary = (
+        "dataclasses feeding the ExperimentSpec content hash (*Spec) "
+        "must be frozen=True with no mutable defaults"
+    )
+    packages = None  # specs may live in any package
+
+    def check_module(
+        self, module: ModuleContext, project: Project
+    ) -> Iterator[Finding]:
+        path = display_path(module.path)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Spec"):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None:
+                continue
+            if not _is_frozen(decorator):
+                yield Finding(
+                    path,
+                    node.lineno,
+                    self.id,
+                    f"spec dataclass {node.name} is not frozen=True — "
+                    "hashed specs must be immutable",
+                )
+            yield from self._check_defaults(node, path)
+
+    def _check_defaults(
+        self, node: ast.ClassDef, path: str
+    ) -> Iterator[Finding]:
+        for statement in node.body:
+            value: Optional[ast.expr] = None
+            field_name = ""
+            if isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                value = statement.value
+                field_name = statement.target.id
+            elif isinstance(statement, ast.Assign) and len(
+                statement.targets
+            ) == 1 and isinstance(statement.targets[0], ast.Name):
+                value = statement.value
+                field_name = statement.targets[0].id
+            if value is None:
+                continue
+            why = _mutable_default(value)
+            if why is not None:
+                yield Finding(
+                    path,
+                    statement.lineno,
+                    self.id,
+                    f"spec dataclass {node.name}.{field_name} has a "
+                    f"{why} — spec fields must default to immutable "
+                    "values",
+                )
+
+
+RULES: Tuple[Rule, ...] = (FrozenSpecRule(),)

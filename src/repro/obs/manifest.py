@@ -105,6 +105,7 @@ def build_manifest(
     spec_hash = spec.content_hash()
     body: Dict[str, Any] = {
         "manifest_version": MANIFEST_SCHEMA_VERSION,
+        # repro-lint: allow[no-wallclock] manifest creation stamp: provenance metadata only, never digested or cached on
         "created_unix": round(time.time(), 3),
         "git_describe": (
             git_version if git_version is not None else git_describe()

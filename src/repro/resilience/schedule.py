@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 import random
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Tuple
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.directions import Direction
 from repro.topology.base import Topology
@@ -113,7 +113,7 @@ class FaultSchedule:
         events: the transitions, in any order.
     """
 
-    def __init__(self, events: Iterable[FaultEvent] = ()):
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
         ordered = sorted(events, key=lambda event: event.cycle)
         failed: set = set()
         for event in ordered:
@@ -136,7 +136,7 @@ class FaultSchedule:
     def __len__(self) -> int:
         return len(self.events)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[FaultEvent]":
         return iter(self.events)
 
     def __eq__(self, other: object) -> bool:

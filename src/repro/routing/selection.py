@@ -49,7 +49,10 @@ class SelectionContext:
     """
 
     free_space: Callable[[Channel], int] = field(default=lambda channel: 0)
-    rng: random.Random = field(default_factory=random.Random)
+    # Seeded default: the simulator always supplies its own
+    # config-seeded RNG, and analytical callers that never pass one get
+    # a deterministic stream instead of OS-entropy seeding.
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
     cycle: int = 0
 
 

@@ -60,6 +60,7 @@ class Channel:
         object.__setattr__(
             self,
             "_hash",
+            # repro-lint: allow[hash-stability] int-tuple node ids, int-backed Direction, bool, int — all PYTHONHASHSEED-independent
             hash((self.src, self.dst, self.direction, self.wraparound, self.lane)),
         )
 

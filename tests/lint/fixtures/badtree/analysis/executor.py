@@ -1,0 +1,25 @@
+"""Fixture: impure process-pool workers."""
+
+_COUNTER = 0
+
+
+def _run_job(spec, warm):
+    global _COUNTER  # finding: worker uses global
+    warm["tables"] = {}  # finding: mutates shipped argument
+    return _helper(spec)
+
+
+def _helper(spec):
+    spec.points += 1  # finding: transitive callee mutates argument
+    return spec
+
+
+def _pure_job(spec):
+    spec = list(spec)  # fine: rebinding the parameter name
+    return spec
+
+
+def run_all(pool, specs):
+    futures = [pool.submit(_run_job, spec, {}) for spec in specs]
+    futures += [pool.submit(_pure_job, spec) for spec in specs]
+    return [f.result() for f in futures]

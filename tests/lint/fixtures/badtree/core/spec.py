@@ -1,0 +1,21 @@
+"""Fixture: spec dataclasses that violate the frozen-spec contract."""
+
+from dataclasses import dataclass, field
+
+__all__ = ["MutableSpec", "SharedDefaultSpec", "GoodSpec"]
+
+
+@dataclass
+class MutableSpec:  # finding: not frozen=True
+    loads: tuple = ()
+
+
+@dataclass(frozen=True)
+class SharedDefaultSpec:
+    loads: list = field(default_factory=list)  # finding: mutable factory
+    extras: dict = {}  # finding: mutable literal default
+
+
+@dataclass(frozen=True)
+class GoodSpec:
+    loads: tuple = ()

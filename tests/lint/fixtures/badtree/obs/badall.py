@@ -1,0 +1,7 @@
+"""Fixture: an inaccurate __all__ in an API-surface package."""
+
+__all__ = ["missing_function"]
+
+
+def present():
+    return 1

@@ -1,0 +1,12 @@
+"""Fixture: routing classes for the registry rules."""
+
+__all__ = ["FooRouting", "BarRouting"]
+
+
+class FooRouting:
+    minimal = True  # no uses_in_channel declaration: finding
+
+
+class BarRouting:
+    name = "baz"  # registered as "bar" in registry.py: finding there
+    uses_in_channel = False

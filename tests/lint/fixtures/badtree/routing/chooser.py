@@ -1,0 +1,11 @@
+"""Fixture: builtin hash() on a routing path, bare and pragma'd."""
+
+__all__ = ["choose", "choose_allowed"]
+
+
+def choose(src, dest, lanes):
+    return hash((src, dest)) % lanes  # finding: no pragma
+
+
+def choose_allowed(src, dest, lanes):
+    return hash((src, dest)) % lanes  # repro-lint: allow[hash-stability] int-tuple operands only

@@ -1,0 +1,12 @@
+"""Fixture: a registry with a non-canonical key and a mismatched name."""
+
+__all__ = ["make_routing"]
+
+_FACTORIES = {
+    "West_First": FooRouting,  # noqa: F821 - finding: not canonical
+    "bar": BarRouting,  # noqa: F821 - finding: class pins name="baz"
+}
+
+
+def make_routing(name):
+    return _FACTORIES[name]

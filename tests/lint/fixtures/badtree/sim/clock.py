@@ -1,0 +1,26 @@
+"""Fixture: wall-clock reads in a digest-relevant package."""
+
+import time
+from datetime import datetime
+from time import time as now
+
+
+def stamp():
+    return time.time()  # finding
+
+
+def stamp_datetime():
+    return datetime.now()  # finding
+
+
+def stamp_from_import():
+    return now()  # finding
+
+
+def duration(start):
+    return time.perf_counter() - start  # allowed: monotonic duration
+
+
+def stamped_metadata():
+    # repro-lint: allow[no-wallclock] metadata stamp only, never digested
+    return time.time()

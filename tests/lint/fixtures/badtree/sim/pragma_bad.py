@@ -1,0 +1,6 @@
+"""Fixture: malformed suppression pragmas (each line is a bad-pragma)."""
+
+NO_REASON = 1  # repro-lint: allow[hash-stability]
+UNKNOWN_RULE = 2  # repro-lint: allow[not-a-rule] because reasons
+UNKNOWN_VERB = 3  # repro-lint: deny[hash-stability] nope
+NO_RULE_LIST = 4  # repro-lint: allow no brackets at all

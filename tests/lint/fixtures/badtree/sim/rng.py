@@ -1,0 +1,26 @@
+"""Fixture: module-global and unseeded randomness."""
+
+import random
+from dataclasses import dataclass, field
+from random import Random
+
+
+def draw():
+    return random.random()  # finding: module-global draw
+
+
+def fresh():
+    return random.Random()  # finding: unseeded
+
+
+def entropy():
+    return random.SystemRandom()  # finding: OS entropy
+
+
+def seeded(seed):
+    return Random(seed)  # fine: explicit seed
+
+
+@dataclass
+class Context:
+    rng: Random = field(default_factory=random.Random)  # finding

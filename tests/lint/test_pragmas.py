@@ -1,0 +1,99 @@
+"""Suppression-pragma parsing and coverage semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.findings import BAD_PRAGMA, Pragma, parse_pragmas
+
+KNOWN = ("hash-stability", "no-wallclock", "seeded-rng")
+
+
+def _parse(source):
+    return parse_pragmas("mod.py", source, KNOWN)
+
+
+def test_trailing_pragma_parses():
+    pragmas, problems = _parse(
+        "x = hash(y)  # repro-lint: allow[hash-stability] int operands\n"
+    )
+    assert problems == []
+    assert pragmas == [Pragma(1, ("hash-stability",), "int operands")]
+
+
+def test_pragma_covers_own_line_and_next_line_only():
+    pragma = Pragma(5, ("hash-stability",), "why")
+    assert pragma.covers(5, "hash-stability")
+    assert pragma.covers(6, "hash-stability")
+    assert not pragma.covers(7, "hash-stability")
+    assert not pragma.covers(4, "hash-stability")
+    assert not pragma.covers(5, "no-wallclock")
+
+
+def test_multi_rule_pragma():
+    pragmas, problems = _parse(
+        "# repro-lint: allow[hash-stability, no-wallclock] both fine here\n"
+        "x = 1\n"
+    )
+    assert problems == []
+    (pragma,) = pragmas
+    assert pragma.rules == ("hash-stability", "no-wallclock")
+    assert pragma.covers(2, "hash-stability")
+    assert pragma.covers(2, "no-wallclock")
+
+
+def test_missing_reason_is_bad_pragma():
+    pragmas, problems = _parse("x = 1  # repro-lint: allow[seeded-rng]\n")
+    assert pragmas == []
+    (problem,) = problems
+    assert problem.rule == BAD_PRAGMA
+    assert "justification" in problem.message
+
+
+def test_unknown_rule_is_bad_pragma():
+    pragmas, problems = _parse("x = 1  # repro-lint: allow[nope] reason\n")
+    assert pragmas == []
+    (problem,) = problems
+    assert problem.rule == BAD_PRAGMA
+    assert "nope" in problem.message
+
+
+def test_unknown_verb_is_bad_pragma():
+    pragmas, problems = _parse("x = 1  # repro-lint: forbid[seeded-rng] r\n")
+    assert pragmas == []
+    (problem,) = problems
+    assert problem.rule == BAD_PRAGMA
+    assert "forbid" in problem.message
+
+
+def test_missing_rule_list_is_bad_pragma():
+    pragmas, problems = _parse("x = 1  # repro-lint: allow some reason\n")
+    assert pragmas == []
+    (problem,) = problems
+    assert problem.rule == BAD_PRAGMA
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        '"""# repro-lint: allow[nope] docstring example"""\n',
+        'TEXT = "# repro-lint: allow[nope] in a string literal"\n',
+    ],
+)
+def test_pragmas_inside_strings_are_ignored(source):
+    pragmas, problems = _parse(source)
+    assert pragmas == []
+    assert problems == []
+
+
+def test_finding_render_format():
+    from repro.lint.findings import Finding
+
+    finding = Finding("a/b.py", 12, "seeded-rng", "boom")
+    assert finding.render() == "a/b.py:12: [seeded-rng] boom"
+    assert finding.to_dict() == {
+        "path": "a/b.py",
+        "line": 12,
+        "rule": "seeded-rng",
+        "message": "boom",
+    }
