@@ -21,7 +21,8 @@ result plus the optional sidecars (resilience ledger, obs metrics)::
 
 Sweeps and fault sweeps keep their dedicated drivers
 (:meth:`SweepExecutor.sweep`, :func:`fault_sweep`), both reachable from
-here.  The pre-facade entry points (``simulate``, ``sweep_loads``,
+here, and algorithm synthesis runs through :func:`run_synthesis` with a
+:class:`SynthSpec` (see ``docs/synthesis.md``).  The pre-facade entry points (``simulate``, ``sweep_loads``,
 ``run_spec``) still work but emit :class:`DeprecationWarning`; see
 ``docs/experiments_api.md`` for the migration table.
 """
@@ -76,6 +77,12 @@ from repro.routing.registry import (
 from repro.sim.config import SimulationConfig
 from repro.sim.simulator import simulate as _simulate
 from repro.sim.stats import SimulationResult
+from repro.synth import (
+    SynthesisResult,
+    SynthSpec,
+    render_synthesis,
+    run_synthesis,
+)
 from repro.topology.base import Topology
 from repro.topology.spec import parse_topology, topology_spec
 from repro.traffic.permutations import available_patterns, make_pattern
@@ -119,6 +126,11 @@ __all__ = [
     "SweepSeries",
     "SimulationConfig",
     "SimulationResult",
+    # Algorithm synthesis.
+    "SynthSpec",
+    "SynthesisResult",
+    "run_synthesis",
+    "render_synthesis",
     # Registries and specs.
     "make_routing",
     "available_algorithms",

@@ -11,6 +11,7 @@ Subcommands::
     turnmodel resilience --preset quick # fault-injection delivered-fraction sweep
     turnmodel deadlock --figure 1       # watch an unsafe algorithm deadlock
     turnmodel verify --all              # statically certify every algorithm
+    turnmodel synth --topology mesh:4x4 # synthesize routing algorithms
     turnmodel lint                      # determinism & invariant lint over src
     turnmodel bench --quick             # engine cycles/sec benchmark
     turnmodel report runs/manifest-*.json   # metrics report from manifests
@@ -321,6 +322,78 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 f"expected {target.expect}",
                 file=sys.stderr,
             )
+        return 1
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.synth import SynthSpec, render_synthesis, run_synthesis
+
+    kwargs = dict(
+        topology=args.topology,
+        max_candidates=args.max_candidates,
+        certify_representatives_only=not args.cross_check,
+        simulate=args.simulate,
+        pattern=args.pattern,
+        seed=args.seed,
+    )
+    if args.loads:
+        kwargs["loads"] = tuple(args.loads)
+    try:
+        spec = SynthSpec(**kwargs)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    progress = (
+        (lambda msg: print(msg, file=sys.stderr)) if args.progress else None
+    )
+    try:
+        if args.simulate:
+            from repro.analysis.executor import SweepExecutor
+
+            with SweepExecutor(
+                jobs=args.jobs, cache_dir=args.cache_dir
+            ) as executor:
+                result = run_synthesis(
+                    spec, executor=executor, progress=progress
+                )
+        else:
+            result = run_synthesis(spec, progress=progress)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_synthesis(result))
+    if args.manifest_dir or args.out:
+        from repro.obs.envelope import save_envelope
+
+        spec_hash = spec.content_hash()
+        if args.manifest_dir:
+            from pathlib import Path
+
+            directory = Path(args.manifest_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            for outcome in result.outcomes:
+                save_envelope(
+                    outcome.to_dict(),
+                    "synth-candidate",
+                    directory / f"synth-{outcome.name}.json",
+                    spec_hash=spec_hash,
+                )
+            print(
+                f"[{len(result.outcomes)} candidate manifests "
+                f"in {args.manifest_dir}]"
+            )
+        if args.out:
+            save_envelope(
+                result.to_payload(), "synth", args.out, spec_hash=spec_hash
+            )
+            print(f"[saved to {args.out}]")
+    if result.missing_rediscovery is not None and not result.truncated:
+        print(
+            f"FAIL: full enumeration did not rediscover "
+            f"{result.missing_rediscovery}",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -687,6 +760,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write the full JSON report (certificates included)"
     )
     p_verify.set_defaults(func=_cmd_verify)
+
+    p_synth = sub.add_parser(
+        "synth",
+        help="synthesize routing algorithms: enumerate turn prohibitions, "
+        "certify deadlock-free survivors, rank by adaptiveness (exit 1 "
+        "if a full census misses a paper algorithm)",
+    )
+    p_synth.add_argument(
+        "--topology",
+        default="mesh:4x4",
+        help="target topology spec (mesh:RxC or cube:N; the colonless "
+        "mesh4x4 shorthand is accepted)",
+    )
+    p_synth.add_argument(
+        "--max-candidates",
+        type=int,
+        default=None,
+        help="truncate enumeration after this many candidates (the "
+        "census then covers a prefix of the space, not all of it)",
+    )
+    p_synth.add_argument(
+        "--simulate",
+        action="store_true",
+        help="also rank certified classes by simulated sustainable "
+        "throughput through the sweep executor",
+    )
+    p_synth.add_argument(
+        "--pattern", default="uniform", help="traffic pattern for --simulate"
+    )
+    p_synth.add_argument(
+        "--loads",
+        type=float,
+        nargs="+",
+        default=None,
+        help="offered loads for --simulate ranking",
+    )
+    p_synth.add_argument("--seed", type=int, default=1)
+    p_synth.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for --simulate (results are "
+        "deterministic at any job count)",
+    )
+    p_synth.add_argument(
+        "--cache-dir", default=None, help="reuse cached simulation points"
+    )
+    p_synth.add_argument(
+        "--cross-check",
+        action="store_true",
+        help="certify every enumerated candidate instead of one "
+        "representative per symmetry class, and require symmetric "
+        "candidates to agree",
+    )
+    p_synth.add_argument(
+        "--progress", action="store_true", help="narrate pipeline stages"
+    )
+    p_synth.add_argument(
+        "--manifest-dir",
+        default=None,
+        help="write one enveloped manifest per symmetry class",
+    )
+    p_synth.add_argument(
+        "--out", default=None, help="write the enveloped synthesis report JSON"
+    )
+    p_synth.set_defaults(func=_cmd_synth)
 
     p_lint = sub.add_parser(
         "lint",

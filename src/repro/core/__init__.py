@@ -22,6 +22,8 @@ from repro.core.restrictions import (
     fully_adaptive,
     negative_first_restriction,
     north_last_restriction,
+    turn_from_payload,
+    turn_to_payload,
     west_first_restriction,
     xy_restriction,
 )
@@ -45,6 +47,7 @@ _LAZY = {
     "RouteFn": "channel_graph",
     "TurnModel": "model",
     "mesh_symmetries_2d": "model",
+    "signed_permutation_symmetries": "model",
     "apply_symmetry": "model",
     "symmetry_classes": "model",
     "west_first_numbering": "numbering",
@@ -94,6 +97,8 @@ __all__ = [
     "abstract_cycles",
     "minimum_prohibited_turns",
     "TurnRestriction",
+    "turn_to_payload",
+    "turn_from_payload",
     "fully_adaptive",
     "xy_restriction",
     "west_first_restriction",
@@ -128,6 +133,7 @@ __all__ = [
     "s_north_last",
     "s_pcube",
     "s_west_first",
+    "signed_permutation_symmetries",
     "symmetry_classes",
     "topological_numbering",
     "turn_cdg",

@@ -39,6 +39,7 @@ from repro.topology.mesh import Mesh
 __all__ = [
     "TurnModel",
     "mesh_symmetries_2d",
+    "signed_permutation_symmetries",
     "apply_symmetry",
     "symmetry_classes",
 ]
@@ -74,6 +75,34 @@ def mesh_symmetries_2d() -> List[DirectionMap]:
     for _ in range(3):
         rotations.append(_compose(rho, rotations[-1]))
     return rotations + [_compose(rot, mu) for rot in rotations]
+
+
+def signed_permutation_symmetries(n_dims: int) -> List[DirectionMap]:
+    """The ``2**n n!`` symmetries of an n-dimensional mesh.
+
+    Every symmetry of an n-dim mesh that relabels directions is a signed
+    permutation: a permutation of the dimensions composed with an
+    optional reflection of each axis (the hyperoctahedral group ``B_n``).
+    For ``n_dims == 2`` this is exactly the eight-element dihedral group
+    of :func:`mesh_symmetries_2d`, just enumerated in a different order.
+
+    The enumeration order is deterministic (permutations in lexicographic
+    order, sign patterns with ``+1`` before ``-1`` per axis), so orbit
+    computations built on it are reproducible.
+    """
+    if n_dims < 1:
+        raise ValueError(f"need at least one dimension, got {n_dims}")
+    maps: List[DirectionMap] = []
+    for perm in itertools.permutations(range(n_dims)):
+        for signs in itertools.product((1, -1), repeat=n_dims):
+            maps.append(
+                {
+                    Direction(dim, sign): Direction(perm[dim], sign * signs[dim])
+                    for dim in range(n_dims)
+                    for sign in (1, -1)
+                }
+            )
+    return maps
 
 
 def apply_symmetry(
@@ -187,9 +216,15 @@ class TurnModel:
     def unique_prohibitions(
         self, symmetries: Optional[Sequence[DirectionMap]] = None
     ) -> List[frozenset[Turn]]:
-        """One representative per symmetry class (3 for 2D meshes)."""
-        if symmetries is None and self.n_dims != 2:
-            raise ValueError("default symmetries are defined for 2D only")
+        """One representative per symmetry class (3 for 2D meshes).
+
+        The default symmetry group is the full signed-permutation group
+        of the mesh (:func:`signed_permutation_symmetries`), which for
+        2D coincides with the dihedral group of
+        :func:`mesh_symmetries_2d`.
+        """
+        if symmetries is None:
+            symmetries = signed_permutation_symmetries(self.n_dims)
         classes = symmetry_classes(self.deadlock_free_prohibitions(), symmetries)
         return [cls[0] for cls in classes]
 

@@ -14,12 +14,14 @@ n-dimensional analogs ABONF, ABOPL, and negative-first.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Optional
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.directions import Direction, EAST, NORTH, SOUTH, WEST
 from repro.core.turns import Turn, TurnKind, abstract_cycles, ninety_degree_turns
 
 __all__ = [
+    "turn_to_payload",
+    "turn_from_payload",
     "TurnRestriction",
     "fully_adaptive",
     "xy_restriction",
@@ -30,6 +32,27 @@ __all__ = [
     "abopl_restriction",
     "figure4_restriction",
 ]
+
+
+def turn_to_payload(turn: Turn) -> List[int]:
+    """A turn as four plain integers: ``[frm.dim, frm.sign, to.dim, to.sign]``.
+
+    The JSON-ready encoding restriction serialization and synthesis
+    artifacts share; inverse of :func:`turn_from_payload`.
+    """
+    return [turn.frm.dim, turn.frm.sign, turn.to.dim, turn.to.sign]
+
+
+def turn_from_payload(payload: Sequence[int]) -> Turn:
+    """Rebuild a turn encoded by :func:`turn_to_payload`."""
+    if len(payload) != 4:
+        raise ValueError(f"turn payload needs 4 integers, got {list(payload)!r}")
+    frm_dim, frm_sign, to_dim, to_sign = (int(part) for part in payload)
+    return Turn(Direction(frm_dim, frm_sign), Direction(to_dim, to_sign))
+
+
+def _sorted_payloads(turns: Iterable[Turn]) -> List[List[int]]:
+    return [turn_to_payload(turn) for turn in sorted(turns)]
 
 
 @dataclass(frozen=True)
@@ -115,6 +138,35 @@ class TurnRestriction:
         """A copy carrying the given label."""
         return TurnRestriction(
             self.n_dims, self.prohibited, self.allowed_reversals, name
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict; inverse of :meth:`from_dict`.
+
+        Turn sets are emitted in sorted order, so equal restrictions
+        serialize byte-identically — the property synthesis artifacts
+        and content hashes rely on.
+        """
+        return {
+            "n_dims": self.n_dims,
+            "prohibited": _sorted_payloads(self.prohibited),
+            "allowed_reversals": _sorted_payloads(self.allowed_reversals),
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TurnRestriction":
+        """Rebuild a restriction saved by :meth:`to_dict`."""
+        return cls(
+            n_dims=int(payload["n_dims"]),
+            prohibited=frozenset(
+                turn_from_payload(turn) for turn in payload["prohibited"]
+            ),
+            allowed_reversals=frozenset(
+                turn_from_payload(turn)
+                for turn in payload.get("allowed_reversals", ())
+            ),
+            name=str(payload.get("name", "")),
         )
 
     def __str__(self) -> str:

@@ -187,7 +187,7 @@ class RegistryClassNameRule(Rule):
 
 #: Packages whose modules form the public API surface and must carry a
 #: complete literal ``__all__``.
-_ALL_PACKAGES = ("routing", "core", "verify", "obs", "lint")
+_ALL_PACKAGES = ("routing", "core", "verify", "obs", "lint", "synth")
 
 
 class AllCompleteRule(Rule):
@@ -195,7 +195,7 @@ class AllCompleteRule(Rule):
 
     id = "all-complete"
     summary = (
-        "modules in routing/core/verify/obs/lint define a literal "
+        "modules in routing/core/verify/obs/lint/synth define a literal "
         "__all__ that is complete and accurate"
     )
     packages = _ALL_PACKAGES

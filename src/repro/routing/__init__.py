@@ -46,6 +46,12 @@ from repro.routing.selection import (
     make_input_policy,
     make_output_policy,
 )
+from repro.routing.synth_names import (
+    is_synth_name,
+    parse_synth_name,
+    routing_from_synth_name,
+    synth_name,
+)
 from repro.routing.torus_routing import (
     FirstHopWraparoundRouting,
     NegativeFirstTorusRouting,
@@ -103,4 +109,8 @@ __all__ = [
     "available_algorithms",
     "canonical_name",
     "UnknownNameError",
+    "is_synth_name",
+    "parse_synth_name",
+    "routing_from_synth_name",
+    "synth_name",
 ]

@@ -8,6 +8,7 @@ plus a topology into the right algorithm instance.
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable, Dict
 
 from repro.routing.base import RoutingAlgorithm
@@ -59,15 +60,25 @@ class UnknownNameError(KeyError, ValueError):
 
     Subclasses both :class:`KeyError` (it is a failed registry lookup)
     and :class:`ValueError` (the historical type callers catch).  The
-    message always lists the valid names.
+    message lists close matches first — synthesized names like
+    ``synth2-nw.sw`` are long enough that typos are otherwise hard to
+    spot — and always lists the valid names.
     """
 
     def __init__(self, kind: str, name: str, known: "list[str]") -> None:
-        message = f"unknown {kind} {name!r}; known: {', '.join(sorted(known))}"
-        super().__init__(message)
         self.kind = kind
         self.name = name
         self.known = sorted(known)
+        self.suggestions = difflib.get_close_matches(
+            canonical_name(name), self.known, n=3, cutoff=0.6
+        )
+        hint = ""
+        if self.suggestions:
+            hint = f" did you mean {' or '.join(self.suggestions)}?"
+        message = (
+            f"unknown {kind} {name!r};{hint} known: {', '.join(self.known)}"
+        )
+        super().__init__(message)
 
     def __str__(self) -> str:  # KeyError would repr() the message.
         return self.args[0]
@@ -155,13 +166,31 @@ def make_routing(name: str, topology: Topology) -> RoutingAlgorithm:
     Names are canonicalized first (see :func:`canonical_name`), so
     ``"negative_first"`` and ``"Negative-First"`` both resolve.
 
+    Synthesized names (``synth2-nw.sw``; see
+    :mod:`repro.routing.synth_names`) are self-describing and resolve
+    without prior registration, so any process — sweep workers
+    included — can rebuild a synthesized router from its name alone.
+
     Raises:
         UnknownNameError: for unknown names (a KeyError *and* a
             ValueError), listing the valid ones.
     """
+    canonical = canonical_name(name)
     try:
-        factory = _FACTORIES[canonical_name(name)]
+        factory = _FACTORIES[canonical]
     except KeyError:
+        # Deferred import: synth_names imports turn_table, which imports
+        # repro.routing.base alongside this module.
+        from repro.routing.synth_names import (
+            is_synth_name,
+            routing_from_synth_name,
+        )
+
+        if is_synth_name(canonical):
+            # A grammar-valid synth name; any remaining failure (bad
+            # turn code, dimension mismatch, unsupported topology) is a
+            # precise ValueError of its own, not an unknown name.
+            return routing_from_synth_name(canonical, topology)
         raise UnknownNameError(
             "routing algorithm", name, list(_FACTORIES)
         ) from None

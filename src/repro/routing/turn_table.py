@@ -15,7 +15,7 @@ instantiated with their restriction, which is how we validate both sides.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.directions import Direction
 from repro.core.restrictions import TurnRestriction
@@ -136,6 +136,36 @@ class TurnRestrictionRouting(RoutingAlgorithm):
             self.name = f"{self.name}-nonminimal"
         self._oracle = None if minimal else ReachabilityOracle(topology, restriction)
         self._minimal_cache: Dict[Tuple[NodeId, Optional[Direction], NodeId], bool] = {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict; inverse of :meth:`from_dict`.
+
+        The emitted ``name`` is the base label — the constructor
+        re-appends the ``-nonminimal`` suffix on rebuild — and the
+        restriction serializes in sorted order, so equal routers
+        serialize byte-identically (the property synthesis manifests
+        rely on).
+        """
+        base_name = self.name
+        if not self.minimal and base_name.endswith("-nonminimal"):
+            base_name = base_name[: -len("-nonminimal")]
+        return {
+            "restriction": self.restriction.to_dict(),
+            "minimal": self.minimal,
+            "name": base_name,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: Mapping[str, Any], topology: Topology
+    ) -> "TurnRestrictionRouting":
+        """Rebuild a router saved by :meth:`to_dict` on ``topology``."""
+        return cls(
+            topology,
+            TurnRestriction.from_dict(payload["restriction"]),
+            minimal=bool(payload.get("minimal", True)),
+            name=str(payload.get("name", "")),
+        )
 
     def _minimal_reaches(
         self, node: NodeId, arrival: Optional[Direction], dest: NodeId

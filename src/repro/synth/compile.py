@@ -1,0 +1,84 @@
+"""Compile certified candidates into runnable, registry-named routers.
+
+The synthesis pipeline's last hop to executable form: a certified
+prohibition set becomes a
+:class:`~repro.routing.turn_table.TurnRestrictionRouting` under its
+synthesized canonical name (``synth2-nw.sw``).  Because the name is
+self-describing, compilation goes through the ordinary registry
+(:func:`repro.routing.registry.make_routing`) — the same resolution path
+sweep workers take — so a compiled winner is guaranteed to rebuild
+identically in any process that sees its name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Sequence
+
+from repro.core.turns import Turn
+from repro.routing.registry import make_routing
+from repro.routing.synth_names import synth_name
+from repro.routing.turn_table import TurnRestrictionRouting
+from repro.synth.score import named_restrictions
+from repro.synth.symmetry import SymmetryClass
+from repro.topology.base import Topology
+
+__all__ = [
+    "compile_candidate",
+    "rediscovered_algorithms",
+    "rediscovery_missing",
+]
+
+
+def compile_candidate(
+    topology: Topology,
+    prohibited: FrozenSet[Turn],
+    minimal: bool = True,
+) -> TurnRestrictionRouting:
+    """Build the runnable router a certified candidate describes.
+
+    Resolution goes through the registry by synthesized name rather
+    than constructing directly, so compiling here and resolving in a
+    sweep worker are provably the same code path.
+    """
+    name = synth_name(topology.n_dims, prohibited, minimal=minimal)
+    routing = make_routing(name, topology)
+    assert isinstance(routing, TurnRestrictionRouting)
+    return routing
+
+
+def rediscovered_algorithms(
+    classes: Sequence[SymmetryClass], n_dims: int
+) -> Dict[str, str]:
+    """Map class names to the paper algorithms they are equivalent to.
+
+    A class rediscovers a named algorithm when the algorithm's
+    prohibited-turn set lies in the class's symmetry orbit — the
+    "unique up to symmetry" sense in which Section 3 counts three
+    algorithms among twelve survivors.  Classes matching nothing are
+    absent from the map (for 2D there is exactly one such deadlock-free
+    shape: none, all three free classes are named).
+    """
+    named = named_restrictions(n_dims)
+    matches: Dict[str, str] = {}
+    for cls in classes:
+        for paper_name, restriction in named.items():
+            if cls.contains(restriction.prohibited):
+                matches[cls.name] = paper_name
+                break
+    return matches
+
+
+def rediscovery_missing(
+    matches: Dict[str, str], n_dims: int
+) -> Optional[str]:
+    """The first paper algorithm no class rediscovered, or ``None``.
+
+    A full (untruncated) enumeration must rediscover every named
+    algorithm; the engine surfaces a miss loudly instead of shipping a
+    census that silently lost west-first.
+    """
+    found = set(matches.values())
+    for paper_name in named_restrictions(n_dims):
+        if paper_name not in found:
+            return paper_name
+    return None

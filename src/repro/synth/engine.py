@@ -1,0 +1,380 @@
+"""The synthesis pipeline: enumerate → quotient → certify → score → rank.
+
+:func:`run_synthesis` drives the whole derivation the paper performs by
+hand in Section 3:
+
+1. enumerate the one-turn-per-cycle prohibition sets
+   (:mod:`repro.synth.enumeration`),
+2. quotient them by the mesh's symmetry group
+   (:mod:`repro.synth.symmetry`),
+3. certify deadlock/connectivity/livelock with the exact checkers
+   (:mod:`repro.synth.certify` over :mod:`repro.verify`) — for 2D this
+   reproduces the census: 16 candidates, 12 deadlock-free, 4 deadlocked,
+4. check which certified classes rediscover the paper's named
+   algorithms up to symmetry (:mod:`repro.synth.compile`),
+5. score survivors by degree of adaptiveness (:mod:`repro.synth.score`)
+   and, when asked, by simulated throughput through the warm
+   :class:`~repro.analysis.executor.SweepExecutor`, then rank.
+
+Everything downstream of the spec is deterministic: the enumeration
+order, class names, certification verdicts, scores, and — because each
+simulated point is fully determined by its
+:class:`~repro.analysis.executor.ExperimentSpec` — the per-point result
+digests are bit-identical across reruns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.executor import ExperimentSpec, PointSpec, SweepExecutor
+from repro.analysis.sweep import SweepPoint
+from repro.core.restrictions import turn_to_payload
+from repro.sim.digest import result_digest
+from repro.synth.certify import certify_candidates
+from repro.synth.compile import rediscovered_algorithms, rediscovery_missing
+from repro.synth.enumeration import (
+    candidate_space_size,
+    enumerate_candidates,
+    synthesis_dims,
+)
+from repro.synth.score import adaptiveness_score, scoring_topology
+from repro.synth.spec import SynthSpec
+from repro.synth.symmetry import SymmetryClass, classify_candidates
+from repro.topology.spec import parse_topology, topology_spec
+from repro.verify.report import REFUTED, TargetReport
+
+__all__ = ["CandidateOutcome", "SynthesisResult", "run_synthesis"]
+
+#: Progress callback: one short human-readable line per pipeline stage.
+Progress = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """Everything the pipeline established about one symmetry class.
+
+    Attributes:
+        name: the class's synthesized canonical name (also the registry
+            name its compiled router resolves under).
+        members: synthesized names of the enumerated members.
+        orbit_size: full orbit size under the symmetry group.
+        prohibited: the representative's prohibited turns as payload
+            quadruples (JSON-ready).
+        deadlock_free: verdict of the exact CDG check.
+        certified: whether every property proof passed (deadlock,
+            connectivity, livelock).
+        rediscovers: the paper algorithm this class is symmetric to,
+            or ``None`` for an unnamed shape.
+        adaptiveness: mean ``S/S_f`` score; ``None`` for refuted
+            classes (a deadlocking candidate has no meaningful degree
+            of adaptiveness).
+        report: the representative's full certification report.
+        simulation: per-load simulated points (``load``, ``digest``,
+            ``throughput_flits_per_usec``, ``avg_latency_usec``,
+            ``sustainable``); empty when simulation was off or the
+            class was refuted.
+    """
+
+    name: str
+    members: Tuple[str, ...]
+    orbit_size: int
+    prohibited: Tuple[Tuple[int, int, int, int], ...]
+    deadlock_free: bool
+    certified: bool
+    rediscovers: Optional[str]
+    adaptiveness: Optional[float]
+    report: TargetReport
+    simulation: Tuple[Dict[str, Any], ...] = ()
+
+    @property
+    def sustainable_throughput(self) -> float:
+        """Best sustainable simulated throughput (0.0 when none)."""
+        sustainable = [
+            point["throughput_flits_per_usec"]
+            for point in self.simulation
+            if point["sustainable"]
+        ]
+        return max(sustainable, default=0.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict (the per-candidate manifest payload)."""
+        return {
+            "name": self.name,
+            "members": list(self.members),
+            "orbit_size": self.orbit_size,
+            "prohibited": [list(turn) for turn in self.prohibited],
+            "deadlock_free": self.deadlock_free,
+            "certified": self.certified,
+            "rediscovers": self.rediscovers,
+            "adaptiveness": self.adaptiveness,
+            "report": self.report.to_dict(),
+            "simulation": [dict(point) for point in self.simulation],
+        }
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """The full outcome of one synthesis run.
+
+    Attributes:
+        spec: the spec that ran.
+        n_dims: dimensionality synthesized at.
+        candidate_space: size of the full Step 4 space.
+        enumerated: candidates actually enumerated.
+        truncated: whether ``max_candidates`` cut enumeration short
+            (census counts then cover a prefix, not the space).
+        deadlock_free: enumerated candidates whose class passed the
+            exact CDG check — 12 for the full 2D census.
+        deadlocked: enumerated candidates refuted — 4 for 2D.
+        outcomes: one entry per symmetry class, sorted by name.
+        ranked: certified class names, best first — by sustainable
+            simulated throughput (when simulation ran), then
+            adaptiveness, then name.
+        missing_rediscovery: a paper algorithm no class matched
+            (``None`` when all were rediscovered; non-``None`` on a
+            full enumeration means the pipeline itself is broken).
+    """
+
+    spec: SynthSpec
+    n_dims: int
+    candidate_space: int
+    enumerated: int
+    truncated: bool
+    deadlock_free: int
+    deadlocked: int
+    outcomes: Tuple[CandidateOutcome, ...]
+    ranked: Tuple[str, ...]
+    missing_rediscovery: Optional[str]
+
+    @property
+    def best(self) -> Optional[CandidateOutcome]:
+        """The top-ranked certified class, or ``None`` if all refuted."""
+        if not self.ranked:
+            return None
+        by_name = {outcome.name: outcome for outcome in self.outcomes}
+        return by_name[self.ranked[0]]
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The ``synth-report.json`` payload (pre-envelope)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "n_dims": self.n_dims,
+            "census": {
+                "candidate_space": self.candidate_space,
+                "enumerated": self.enumerated,
+                "truncated": self.truncated,
+                "deadlock_free": self.deadlock_free,
+                "deadlocked": self.deadlocked,
+                "classes": len(self.outcomes),
+                "certified_classes": len(self.ranked),
+            },
+            "ranked": list(self.ranked),
+            "missing_rediscovery": self.missing_rediscovery,
+            "candidates": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+
+def _simulate_classes(
+    spec: SynthSpec,
+    names: List[str],
+    executor: Optional[SweepExecutor],
+    progress: Optional[Progress],
+) -> Dict[str, Tuple[Dict[str, Any], ...]]:
+    """Simulate every certified class at every load, digesting results.
+
+    One flat ``run_points`` call so a warm executor batches all the
+    points of one class onto one warm ``(topology, routing)`` context.
+    """
+    points = [
+        PointSpec(
+            spec=ExperimentSpec(
+                topology=spec.topology,
+                routing=name,
+                pattern=spec.pattern,
+                load=load,
+                config=spec.config,
+                seed=spec.seed,
+            ),
+            series=name,
+            index=index,
+        )
+        for name in names
+        for index, load in enumerate(spec.loads)
+    ]
+    if progress is not None:
+        progress(
+            f"simulating {len(names)} certified classes x "
+            f"{len(spec.loads)} loads ({len(points)} points)"
+        )
+    own_executor = executor is None
+    live = executor if executor is not None else SweepExecutor(jobs=1)
+    try:
+        outcomes = live.run_points(points)
+    finally:
+        if own_executor:
+            live.close()
+    simulated: Dict[str, List[Dict[str, Any]]] = {name: [] for name in names}
+    for outcome in outcomes:
+        sweep_point = SweepPoint.from_result(outcome.result)
+        simulated[outcome.point.series].append(
+            {
+                "load": outcome.point.spec.load,
+                "digest": result_digest(outcome.result),
+                "throughput_flits_per_usec": (
+                    sweep_point.throughput_flits_per_usec
+                ),
+                "avg_latency_usec": sweep_point.avg_latency_usec,
+                "sustainable": sweep_point.sustainable,
+            }
+        )
+    return {name: tuple(points) for name, points in simulated.items()}
+
+
+def run_synthesis(
+    spec: SynthSpec,
+    executor: Optional[SweepExecutor] = None,
+    progress: Optional[Progress] = None,
+) -> SynthesisResult:
+    """Run the full synthesis pipeline for one spec.
+
+    Args:
+        spec: what to synthesize (see :class:`~repro.synth.SynthSpec`).
+        executor: executor for simulation ranking; ``None`` builds a
+            private serial one when ``spec.simulate`` is set.  Pass a
+            warm multi-job executor to parallelize ranking sweeps.
+        progress: optional per-stage narration callback.
+
+    Returns:
+        The :class:`SynthesisResult`; deterministic for a given spec.
+    """
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    topology = parse_topology(spec.topology)
+    topology_label = topology_spec(topology)
+    n_dims = synthesis_dims(topology)
+
+    candidates, truncated = enumerate_candidates(n_dims, spec.max_candidates)
+    space = candidate_space_size(n_dims)
+    say(
+        f"enumerated {len(candidates)}/{space} candidates"
+        + (" (truncated by --max-candidates)" if truncated else "")
+    )
+
+    classes = classify_candidates(candidates, n_dims)
+    say(f"{len(classes)} symmetry classes under the {2 ** n_dims}*{n_dims}!-element group")
+
+    if spec.certify_representatives_only:
+        reports = certify_candidates(
+            topology, topology_label, [cls.representative for cls in classes]
+        )
+        class_report = {cls.name: reports[cls.name] for cls in classes}
+    else:
+        # Cross-check mode: certify every enumerated candidate and
+        # require symmetric candidates to agree before trusting the
+        # class verdict.
+        all_reports = certify_candidates(
+            topology,
+            topology_label,
+            [member for cls in classes for member in cls.members],
+        )
+        class_report = {}
+        for cls in classes:
+            member_reports = [
+                all_reports[name] for name in cls.member_names()
+            ]
+            verdicts = {report.certified for report in member_reports}
+            if len(verdicts) > 1:
+                raise RuntimeError(
+                    f"symmetry class {cls.name} has members with "
+                    "conflicting certification verdicts — the symmetry "
+                    "group or the certifier is wrong"
+                )
+            class_report[cls.name] = all_reports[cls.name]
+
+    def deadlock_free(report: TargetReport) -> bool:
+        return all(
+            check.verdict != REFUTED
+            for check in report.checks
+            if check.check == "deadlock-freedom"
+        )
+
+    free = sum(
+        cls.size for cls in classes if deadlock_free(class_report[cls.name])
+    )
+    say(
+        f"census: {len(candidates)} candidates -> {free} deadlock-free, "
+        f"{len(candidates) - free} deadlocked"
+    )
+
+    matches = rediscovered_algorithms(
+        [cls for cls in classes if class_report[cls.name].certified], n_dims
+    )
+    missing = rediscovery_missing(matches, n_dims)
+    if missing is not None:
+        say(f"WARNING: no class rediscovered {missing}")
+
+    score_topology = scoring_topology(topology, spec.score_radix_cap)
+    scores: Dict[str, float] = {}
+    for cls in classes:
+        if class_report[cls.name].certified:
+            scores[cls.name] = adaptiveness_score(
+                score_topology, cls.representative
+            )
+    say(
+        f"scored {len(scores)} certified classes on "
+        f"{topology_spec(score_topology)}"
+    )
+
+    certified_names = sorted(scores)
+    simulation: Dict[str, Tuple[Dict[str, Any], ...]] = {}
+    if spec.simulate and certified_names:
+        simulation = _simulate_classes(
+            spec, certified_names, executor, progress
+        )
+
+    def rank_key(name: str) -> Tuple[float, float, str]:
+        sustainable = 0.0
+        if name in simulation:
+            points = [p for p in simulation[name] if p["sustainable"]]
+            sustainable = max(
+                (p["throughput_flits_per_usec"] for p in points), default=0.0
+            )
+        return (-sustainable, -scores[name], name)
+
+    ranked = tuple(sorted(certified_names, key=rank_key))
+
+    outcomes = tuple(
+        CandidateOutcome(
+            name=cls.name,
+            members=tuple(cls.member_names()),
+            orbit_size=cls.orbit_size,
+            prohibited=tuple(
+                tuple(turn_to_payload(turn))
+                for turn in sorted(cls.representative)
+            ),
+            deadlock_free=deadlock_free(class_report[cls.name]),
+            certified=class_report[cls.name].certified,
+            rediscovers=matches.get(cls.name),
+            adaptiveness=scores.get(cls.name),
+            report=class_report[cls.name],
+            simulation=simulation.get(cls.name, ()),
+        )
+        for cls in classes
+    )
+
+    return SynthesisResult(
+        spec=spec,
+        n_dims=n_dims,
+        candidate_space=space,
+        enumerated=len(candidates),
+        truncated=truncated,
+        deadlock_free=free,
+        deadlocked=len(candidates) - free,
+        outcomes=outcomes,
+        ranked=ranked,
+        missing_rediscovery=missing,
+    )

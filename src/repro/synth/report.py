@@ -1,0 +1,72 @@
+"""Human-readable rendering of a synthesis run.
+
+The JSON artifact (:meth:`~repro.synth.engine.SynthesisResult.to_payload`
+under an :mod:`repro.obs` envelope) is the machine-readable record; this
+module renders the same result as the census table the paper derives in
+Section 3 — one row per symmetry class with its verdicts, rediscovery
+label, and scores — for the ``repro synth`` terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.synth.engine import CandidateOutcome, SynthesisResult
+
+__all__ = ["render_synthesis"]
+
+
+def _class_row(outcome: CandidateOutcome, rank: int) -> str:
+    """One census-table row for a symmetry class."""
+    if not outcome.deadlock_free:
+        verdict = "DEADLOCK"
+    elif not outcome.certified:
+        verdict = "REFUTED"
+    else:
+        verdict = "certified"
+    rediscovers = outcome.rediscovers or "-"
+    adaptiveness = (
+        f"{outcome.adaptiveness:.4f}" if outcome.adaptiveness is not None else "-"
+    )
+    shown_rank = f"#{rank}" if rank else "-"
+    row = (
+        f"  {shown_rank:>3}  {outcome.name:<24} x{len(outcome.members):<3}"
+        f" {verdict:<9} {rediscovers:<14} S/Sf={adaptiveness}"
+    )
+    if outcome.simulation:
+        row += f" thr={outcome.sustainable_throughput:.3f}"
+    return row
+
+
+def render_synthesis(result: SynthesisResult) -> str:
+    """Render one synthesis run as a census table plus summary lines."""
+    lines: List[str] = []
+    lines.append(
+        f"synthesis on {result.spec.topology} "
+        f"({result.n_dims}D, candidate space {result.candidate_space})"
+    )
+    truncated = " (TRUNCATED)" if result.truncated else ""
+    lines.append(
+        f"census: {result.enumerated} enumerated{truncated} -> "
+        f"{result.deadlock_free} deadlock-free, "
+        f"{result.deadlocked} deadlocked, "
+        f"{len(result.outcomes)} symmetry classes "
+        f"({len(result.ranked)} certified)"
+    )
+    lines.append("")
+    rank_of = {name: i + 1 for i, name in enumerate(result.ranked)}
+    for outcome in result.outcomes:
+        lines.append(_class_row(outcome, rank_of.get(outcome.name, 0)))
+    lines.append("")
+    if result.missing_rediscovery is not None:
+        lines.append(
+            f"WARNING: {result.missing_rediscovery} was not rediscovered"
+            + (" (enumeration truncated)" if result.truncated else "")
+        )
+    best = result.best
+    if best is not None:
+        label = f" (= {best.rediscovers})" if best.rediscovers else ""
+        lines.append(f"best: {best.name}{label}")
+    else:
+        lines.append("best: none certified")
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""The frozen, hashable description of one synthesis run.
+
+A :class:`SynthSpec` is to ``repro synth`` what
+:class:`~repro.analysis.executor.ExperimentSpec` is to ``repro sweep``:
+pure primitives, canonicalized on construction, serializable both ways,
+and content-hashable — so synthesis artifacts carry a ``spec_hash`` that
+pins exactly which run produced them, and re-running the same spec is
+detectable as such.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.analysis.executor import ConfigSpec
+from repro.routing.registry import canonical_name
+
+__all__ = [
+    "SYNTH_SPEC_VERSION",
+    "SynthSpec",
+    "default_synth_config",
+    "normalize_topology_spec",
+]
+
+#: Version tag mixed into every synthesis content hash.  Bump when the
+#: pipeline's semantics change in a way that invalidates old artifacts.
+SYNTH_SPEC_VERSION = 1
+
+#: ``mesh4x4`` → (``mesh``, ``4x4``): a spec string whose colon was
+#: dropped, as the paper-style shorthand writes it.
+_COLONLESS_RE = re.compile(r"^(mesh|cube|torus|hex|oct)([0-9].*)$")
+
+
+def normalize_topology_spec(spec: str) -> str:
+    """Canonicalize a topology spec, accepting the colonless shorthand.
+
+    ``"mesh4x4"``, ``" Mesh:4x4 "``, and ``"mesh:4x4"`` all normalize to
+    ``"mesh:4x4"`` — the form :func:`repro.topology.spec.parse_topology`
+    parses.  Strings that match neither form pass through stripped and
+    lowercased; the parser reports them properly.
+    """
+    cleaned = spec.strip().lower()
+    match = _COLONLESS_RE.match(cleaned)
+    if match is not None:
+        return f"{match.group(1)}:{match.group(2)}"
+    return cleaned
+
+
+def default_synth_config() -> ConfigSpec:
+    """The quick simulation windows synthesis ranking defaults to.
+
+    Ranking only needs relative order among a handful of candidates, so
+    the windows are a fraction of a paper-figure sweep's — but the
+    measurement window must stay long enough for the sustainability
+    check's acceptance-ratio guard to settle (a few dozen packets at
+    light load); shorter windows misreport light loads as saturated.
+    The spec's ``config`` field accepts any :class:`ConfigSpec` when
+    fidelity matters.
+    """
+    return ConfigSpec(
+        warmup_cycles=1_000, measure_cycles=5_000, drain_cycles=2_000
+    )
+
+
+@dataclass(frozen=True)
+class SynthSpec:
+    """One synthesis run as pure data.
+
+    Attributes:
+        topology: target topology spec string (``"mesh:4x4"``; the
+            colonless shorthand ``"mesh4x4"`` is accepted).
+        max_candidates: cap on enumerated candidates; ``None`` enumerates
+            the full ``4 ** (n (n-1))`` space (16 for 2D — only small
+            ``n`` is exhaustively enumerable).
+        certify_representatives_only: certify one representative per
+            symmetry class and let members inherit the verdict (the
+            quotient the turn model itself takes); ``False`` certifies
+            every enumerated candidate individually, as a cross-check.
+        simulate: also rank certified candidates by simulated throughput
+            through the warm :class:`~repro.api.SweepExecutor`.
+        pattern: traffic pattern registry name for simulation ranking.
+        loads: offered loads simulated per candidate.
+        seed: workload RNG seed for simulation ranking.
+        config: simulator configuration for ranking runs.
+        score_radix_cap: per-dimension radix cap of the mesh the
+            adaptiveness score is computed on (path counting is
+            exhaustive over node pairs, so scoring a 16x16 target mesh
+            directly would dominate the run without changing the order).
+    """
+
+    topology: str = "mesh:4x4"
+    max_candidates: Optional[int] = None
+    certify_representatives_only: bool = True
+    simulate: bool = False
+    pattern: str = "uniform"
+    loads: Tuple[float, ...] = (0.1, 0.2, 0.3)
+    seed: int = 1
+    config: ConfigSpec = field(default_factory=default_synth_config)
+    score_radix_cap: int = 6
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "topology", normalize_topology_spec(self.topology)
+        )
+        object.__setattr__(self, "pattern", canonical_name(self.pattern))
+        object.__setattr__(
+            self, "loads", tuple(float(load) for load in self.loads)
+        )
+        if self.max_candidates is not None and self.max_candidates < 1:
+            raise ValueError(
+                f"max_candidates must be >= 1 or None: {self.max_candidates}"
+            )
+        if self.score_radix_cap < 2:
+            raise ValueError(
+                f"score_radix_cap must be >= 2: {self.score_radix_cap}"
+            )
+        if not self.loads:
+            raise ValueError("loads must be non-empty")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict; inverse of :meth:`from_dict`."""
+        payload = dataclasses.asdict(self)
+        payload["loads"] = list(self.loads)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SynthSpec":
+        """Rebuild a spec saved by :meth:`to_dict`."""
+        data = dict(payload)
+        config = data.get("config")
+        if config is not None:
+            data["config"] = ConfigSpec(**config)
+        data["loads"] = tuple(data.get("loads", ()))
+        return cls(**data)
+
+    def canonical_json(self) -> str:
+        """A canonical serialization: stable key order, no whitespace."""
+        payload = {"version": SYNTH_SPEC_VERSION, "spec": self.to_dict()}
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """SHA-256 of the canonical serialization (stable across runs)."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()

@@ -1,0 +1,118 @@
+"""Quotient the candidate space by the topology's symmetry group.
+
+Section 3 reduces the twelve deadlock-free 2D prohibitions to three
+unique algorithms "when the symmetries of the mesh are taken into
+account"; this module performs that reduction for any dimensionality
+using the signed-permutation group (``2**n n!`` relabellings — the
+dihedral group D4 when ``n == 2``).  Every candidate's orbit is computed
+once, enumerated candidates falling in the same orbit share one
+:class:`SymmetryClass`, and each class is named after its
+lexicographically smallest member's synthesized name — a deterministic
+canonical representative, so certification work is done once per class
+instead of once per candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.core.model import apply_symmetry, signed_permutation_symmetries
+from repro.core.turns import Turn
+from repro.routing.synth_names import synth_name
+
+__all__ = ["SymmetryClass", "classify_candidates", "orbit_of"]
+
+
+def orbit_of(
+    prohibited: FrozenSet[Turn], n_dims: int
+) -> FrozenSet[FrozenSet[Turn]]:
+    """Every relabelling of a prohibition set under the symmetry group."""
+    return frozenset(
+        apply_symmetry(symmetry, prohibited)
+        for symmetry in signed_permutation_symmetries(n_dims)
+    )
+
+
+@dataclass(frozen=True)
+class SymmetryClass:
+    """One equivalence class of enumerated candidates.
+
+    Attributes:
+        name: the synthesized name of the canonical representative —
+            the lexicographically smallest member name, so the same
+            class always gets the same label.
+        n_dims: dimensionality the class lives in.
+        members: the *enumerated* candidates in the orbit, sorted by
+            synthesized name (a truncated enumeration may hold only part
+            of the orbit).
+        orbit_size: size of the full orbit under the symmetry group,
+            whether or not every orbit element was enumerated.
+    """
+
+    name: str
+    n_dims: int
+    members: Tuple[FrozenSet[Turn], ...]
+    orbit_size: int
+
+    @property
+    def representative(self) -> FrozenSet[Turn]:
+        """The canonical member (the one the class is named after)."""
+        return self.members[0]
+
+    @property
+    def size(self) -> int:
+        """How many enumerated candidates the class accounts for."""
+        return len(self.members)
+
+    def member_names(self) -> List[str]:
+        """The synthesized names of the enumerated members, in order."""
+        return [synth_name(self.n_dims, member) for member in self.members]
+
+    def contains(self, prohibited: FrozenSet[Turn]) -> bool:
+        """Whether a prohibition set is equivalent to this class.
+
+        Checks the *full* orbit, not just the enumerated members, so a
+        named algorithm is rediscovered even when the enumeration was
+        truncated before its exact turn set appeared.
+        """
+        return prohibited in orbit_of(self.representative, self.n_dims)
+
+
+def classify_candidates(
+    candidates: Iterable[FrozenSet[Turn]], n_dims: int
+) -> List[SymmetryClass]:
+    """Group candidates into symmetry classes, sorted by class name.
+
+    Each orbit is computed once (for its first-seen member) and reused
+    for every later member that hashes into it, so classification is
+    ``O(candidates + classes * |group|)``.
+    """
+    orbits: List[FrozenSet[FrozenSet[Turn]]] = []
+    orbit_members: Dict[int, List[FrozenSet[Turn]]] = {}
+    index_of: Dict[FrozenSet[Turn], int] = {}
+    for candidate in candidates:
+        index = index_of.get(candidate)
+        if index is None:
+            orbit = orbit_of(candidate, n_dims)
+            index = len(orbits)
+            orbits.append(orbit)
+            for element in orbit:
+                index_of[element] = index
+            orbit_members[index] = []
+        orbit_members[index].append(candidate)
+    classes = []
+    for index, orbit in enumerate(orbits):
+        members = sorted(
+            set(orbit_members[index]),
+            key=lambda member: synth_name(n_dims, member),
+        )
+        classes.append(
+            SymmetryClass(
+                name=synth_name(n_dims, members[0]),
+                n_dims=n_dims,
+                members=tuple(members),
+                orbit_size=len(orbit),
+            )
+        )
+    return sorted(classes, key=lambda cls: cls.name)

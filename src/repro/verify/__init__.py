@@ -30,6 +30,7 @@ from repro.verify.report import (
     VerificationReport,
 )
 from repro.verify.suite import (
+    PROOF_CHECKERS,
     REGISTRY_TOPOLOGIES,
     CertificationError,
     VerifyTarget,
@@ -37,6 +38,7 @@ from repro.verify.suite import (
     default_targets,
     recertify,
     verify_all,
+    verify_batch,
     verify_target,
 )
 
@@ -51,6 +53,7 @@ __all__ = [
     "CertificationError",
     "VerifyTarget",
     "REGISTRY_TOPOLOGIES",
+    "PROOF_CHECKERS",
     "certify",
     "check_adaptiveness",
     "check_connectivity",
@@ -61,5 +64,6 @@ __all__ = [
     "recertify",
     "recheck_numbering_certificate",
     "verify_all",
+    "verify_batch",
     "verify_target",
 ]

@@ -1,0 +1,137 @@
+"""The synthesized-name grammar: codes, parsing, and registry rebuild."""
+
+import pytest
+
+from repro.core.restrictions import (
+    negative_first_restriction,
+    north_last_restriction,
+    west_first_restriction,
+)
+from repro.routing.synth_names import (
+    is_synth_name,
+    parse_synth_name,
+    routing_from_synth_name,
+    synth_name,
+)
+from repro.routing.turn_table import TurnRestrictionRouting
+from repro.topology import Hypercube, Mesh, Mesh2D, Torus
+
+
+class TestNaming:
+    @pytest.mark.parametrize(
+        "restriction, expected",
+        [
+            (west_first_restriction(), "synth2-nw.sw"),
+            (north_last_restriction(), "synth2-ne.nw"),
+            (negative_first_restriction(2), "synth2-es.nw"),
+        ],
+    )
+    def test_named_2d_algorithms(self, restriction, expected):
+        assert synth_name(2, restriction.prohibited) == expected
+
+    def test_codes_sorted_for_canonical_form(self):
+        prohibited = west_first_restriction().prohibited
+        name = synth_name(2, prohibited)
+        codes = name.split("-", 1)[1].split(".")
+        assert codes == sorted(codes)
+
+    def test_nonminimal_suffix(self):
+        prohibited = west_first_restriction().prohibited
+        assert synth_name(2, prohibited, minimal=False).endswith("-nonminimal")
+
+    def test_generic_codes_beyond_2d(self):
+        prohibited = negative_first_restriction(3).prohibited
+        name = synth_name(3, prohibited)
+        assert name.startswith("synth3-")
+        assert is_synth_name(name)
+
+
+class TestRecognition:
+    @pytest.mark.parametrize(
+        "name", ["synth2-nw.sw", "synth2-es.nw-nonminimal", "synth3-p0n1"]
+    )
+    def test_accepts(self, name):
+        assert is_synth_name(name)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["west-first", "synth", "synth2", "synth2-", "xy", "synthetic-2"],
+    )
+    def test_rejects(self, name):
+        assert not is_synth_name(name)
+
+
+class TestParsing:
+    def test_round_trip(self):
+        prohibited = negative_first_restriction(2).prohibited
+        name = synth_name(2, prohibited)
+        n_dims, parsed, minimal = parse_synth_name(name)
+        assert (n_dims, parsed, minimal) == (2, prohibited, True)
+
+    def test_round_trip_nonminimal(self):
+        prohibited = west_first_restriction().prohibited
+        name = synth_name(2, prohibited, minimal=False)
+        n_dims, parsed, minimal = parse_synth_name(name)
+        assert (n_dims, parsed, minimal) == (2, prohibited, False)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "synth2-xx",  # no such compass turn
+            "synth2-ew",  # 180-degree reversal, not a 90-degree turn
+            "synth2-nw.nw",  # duplicate code
+            "synth2-p0p1.p9n0",  # dimension index out of range
+        ],
+    )
+    def test_bad_codes_rejected(self, bad):
+        assert is_synth_name(bad)  # grammar-shaped...
+        with pytest.raises(ValueError):
+            parse_synth_name(bad)  # ...but semantically invalid
+
+    def test_generic_form_accepted_for_2d_and_canonicalized(self):
+        # p0n1 = from +dim0 (east) into -dim1 (south): the "es" turn.
+        _, parsed, _ = parse_synth_name("synth2-p0n1")
+        assert synth_name(2, parsed) == "synth2-es"
+
+
+class TestRebuild:
+    def test_builds_turn_table_router(self, mesh44):
+        routing = routing_from_synth_name("synth2-nw.sw", mesh44)
+        assert isinstance(routing, TurnRestrictionRouting)
+        assert routing.name == "synth2-nw.sw"
+        assert routing.minimal
+
+    def test_nonminimal_variant_certifies_reversals(self, mesh44):
+        routing = routing_from_synth_name("synth2-nw.sw-nonminimal", mesh44)
+        assert not routing.minimal
+        assert routing.name == "synth2-nw.sw-nonminimal"
+
+    def test_routes_equal_the_named_algorithm(self, mesh44):
+        synthesized = routing_from_synth_name("synth2-nw.sw", mesh44)
+        named = TurnRestrictionRouting(
+            mesh44, west_first_restriction(), minimal=True
+        )
+        for src in mesh44.nodes():
+            for dst in mesh44.nodes():
+                if src != dst:
+                    assert set(synthesized.route(None, src, dst)) == set(
+                        named.route(None, src, dst)
+                    )
+
+    def test_dimensionality_must_match(self, mesh3d):
+        with pytest.raises(ValueError, match="dims|dimension"):
+            routing_from_synth_name("synth2-nw.sw", mesh3d)
+
+    def test_hypercube_accepted(self):
+        name = synth_name(3, negative_first_restriction(3).prohibited)
+        routing = routing_from_synth_name(name, Hypercube(3))
+        assert routing.name == name
+
+    def test_wraparound_rejected(self):
+        with pytest.raises(ValueError):
+            routing_from_synth_name("synth2-nw.sw", Torus(4, 4))
+
+    def test_3d_mesh_accepted(self):
+        name = synth_name(3, negative_first_restriction(3).prohibited)
+        routing = routing_from_synth_name(name, Mesh((3, 3, 3)))
+        assert routing.name == name

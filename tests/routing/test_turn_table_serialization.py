@@ -1,0 +1,84 @@
+"""TurnRestrictionRouting serialization: stable dict round-trips."""
+
+import json
+
+import pytest
+
+from repro.core.restrictions import (
+    negative_first_restriction,
+    north_last_restriction,
+    west_first_restriction,
+)
+from repro.routing.registry import make_routing
+from repro.routing.turn_table import TurnRestrictionRouting
+
+
+def _routes_equal(first, second, topology):
+    for src in topology.nodes():
+        for dst in topology.nodes():
+            if src != dst:
+                if set(first.route(None, src, dst)) != set(
+                    second.route(None, src, dst)
+                ):
+                    return False
+    return True
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "restriction",
+        [
+            west_first_restriction(),
+            north_last_restriction(),
+            negative_first_restriction(2),
+        ],
+        ids=lambda r: r.name,
+    )
+    def test_minimal_round_trip(self, mesh44, restriction):
+        original = TurnRestrictionRouting(mesh44, restriction, minimal=True)
+        rebuilt = TurnRestrictionRouting.from_dict(original.to_dict(), mesh44)
+        assert rebuilt.name == original.name
+        assert rebuilt.minimal == original.minimal
+        assert rebuilt.restriction == original.restriction
+        assert _routes_equal(original, rebuilt, mesh44)
+
+    def test_nonminimal_round_trip(self, mesh44):
+        original = make_routing("west-first-nonminimal", mesh44)
+        assert isinstance(original, TurnRestrictionRouting)
+        rebuilt = TurnRestrictionRouting.from_dict(original.to_dict(), mesh44)
+        assert rebuilt.name == original.name
+        assert not rebuilt.minimal
+        assert rebuilt.restriction == original.restriction
+        assert _routes_equal(original, rebuilt, mesh44)
+
+    def test_synthesized_round_trip(self, mesh44):
+        original = make_routing("synth2-nw.sw", mesh44)
+        assert isinstance(original, TurnRestrictionRouting)
+        rebuilt = TurnRestrictionRouting.from_dict(original.to_dict(), mesh44)
+        assert rebuilt.name == "synth2-nw.sw"
+        assert _routes_equal(original, rebuilt, mesh44)
+
+
+class TestStability:
+    def test_payload_is_json_ready(self, mesh44):
+        routing = TurnRestrictionRouting(
+            mesh44, west_first_restriction(), minimal=True
+        )
+        payload = routing.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_payload_keys_are_stable(self, mesh44):
+        # The payload shape is an interchange format: additions are
+        # fine, but these keys must keep meaning what they mean.
+        payload = TurnRestrictionRouting(
+            mesh44, west_first_restriction(), minimal=True
+        ).to_dict()
+        assert set(payload) >= {"restriction", "minimal", "name"}
+
+    def test_nonminimal_name_stored_without_suffix(self, mesh44):
+        routing = make_routing("west-first-nonminimal", mesh44)
+        payload = routing.to_dict()
+        assert not payload["name"].endswith("-nonminimal")
+        assert not payload["minimal"]
+        rebuilt = TurnRestrictionRouting.from_dict(payload, mesh44)
+        assert rebuilt.name == "west-first-nonminimal"

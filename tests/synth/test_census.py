@@ -1,0 +1,99 @@
+"""Acceptance: the full synthesis census reproduces Section 3 exactly.
+
+The paper's Step 4 derivation for a 2D mesh: 16 one-turn-per-cycle
+prohibition sets, of which 12 prevent deadlock and 4 do not, collapsing
+to three unique algorithms up to mesh symmetry — west-first, north-last,
+and negative-first.  This module pins every one of those numbers against
+the synthesis engine; the ad-hoc census that used to live in
+``tests/verify`` now delegates here.
+"""
+
+import pytest
+
+from repro.synth import SynthSpec, run_synthesis
+from repro.verify.report import PROVED
+
+PAPER_ALGORITHMS = {"west-first", "north-last", "negative-first"}
+
+
+@pytest.fixture(scope="module")
+def census():
+    return run_synthesis(SynthSpec(topology="mesh:4x4"))
+
+
+class TestTwoTurnSplit:
+    def test_16_candidates_12_free_4_deadlocked(self, census):
+        assert census.candidate_space == 16
+        assert census.enumerated == 16
+        assert not census.truncated
+        assert census.deadlock_free == 12
+        assert census.deadlocked == 4
+
+    def test_four_classes_three_certified(self, census):
+        assert len(census.outcomes) == 4
+        certified = [o for o in census.outcomes if o.certified]
+        assert len(certified) == 3
+        assert len(census.ranked) == 3
+
+    def test_every_class_has_orbit_of_four(self, census):
+        assert all(o.orbit_size == 4 for o in census.outcomes)
+        assert all(len(o.members) == 4 for o in census.outcomes)
+
+
+class TestRediscovery:
+    def test_all_three_paper_algorithms_rediscovered(self, census):
+        found = {o.rediscovers for o in census.outcomes if o.rediscovers}
+        assert found == PAPER_ALGORITHMS
+        assert census.missing_rediscovery is None
+
+    def test_each_certified_class_is_a_named_algorithm(self, census):
+        # In 2D every deadlock-free shape is one of the paper's three.
+        for outcome in census.outcomes:
+            if outcome.certified:
+                assert outcome.rediscovers in PAPER_ALGORITHMS
+            else:
+                assert outcome.rediscovers is None
+
+    def test_deadlocked_class_is_the_unnamed_one(self, census):
+        refuted = [o for o in census.outcomes if not o.certified]
+        assert len(refuted) == 1
+        assert not refuted[0].deadlock_free
+        assert refuted[0].adaptiveness is None
+
+
+class TestCertificates:
+    def test_certified_classes_prove_all_three_properties(self, census):
+        for outcome in census.outcomes:
+            if not outcome.certified:
+                continue
+            verdicts = {
+                check.check: check.verdict for check in outcome.report.checks
+            }
+            assert verdicts == {
+                "deadlock-freedom": PROVED,
+                "connectivity": PROVED,
+                "livelock-freedom": PROVED,
+            }
+
+    def test_certified_classes_score_adaptiveness(self, census):
+        for outcome in census.outcomes:
+            if outcome.certified:
+                assert outcome.adaptiveness is not None
+                # Partially adaptive: strictly between deterministic XY
+                # (well under 1) and fully adaptive (1.0).
+                assert 0.0 < outcome.adaptiveness < 1.0
+
+    def test_cross_check_mode_agrees(self, census):
+        full = run_synthesis(
+            SynthSpec(
+                topology="mesh:4x4", certify_representatives_only=False
+            )
+        )
+        assert full.deadlock_free == census.deadlock_free
+        assert full.deadlocked == census.deadlocked
+        assert [o.name for o in full.outcomes] == [
+            o.name for o in census.outcomes
+        ]
+        assert [o.certified for o in full.outcomes] == [
+            o.certified for o in census.outcomes
+        ]

@@ -1,0 +1,99 @@
+"""Engine behavior: determinism, ranking, compilation, error gates."""
+
+import json
+
+import pytest
+
+from repro.analysis.executor import SweepExecutor
+from repro.routing.registry import make_routing
+from repro.routing.turn_table import TurnRestrictionRouting
+from repro.synth import SynthSpec, compile_candidate, run_synthesis
+from repro.topology import Mesh2D
+from repro.topology.spec import parse_topology
+
+QUICK = SynthSpec(topology="mesh:4x4")
+
+
+class TestDeterminism:
+    def test_same_spec_same_payload(self):
+        first = run_synthesis(QUICK).to_payload()
+        second = run_synthesis(QUICK).to_payload()
+        assert first == second
+
+    def test_payload_is_json_ready(self):
+        payload = run_synthesis(QUICK).to_payload()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_truncated_run_is_flagged(self):
+        result = run_synthesis(SynthSpec(topology="mesh:4x4", max_candidates=6))
+        assert result.truncated
+        assert result.enumerated == 6
+        assert result.deadlock_free + result.deadlocked == 6
+
+
+class TestSimulationRanking:
+    @pytest.fixture(scope="class")
+    def simulated(self):
+        spec = SynthSpec(topology="mesh:4x4", simulate=True, loads=(0.05,))
+        return spec, run_synthesis(spec)
+
+    def test_every_certified_class_simulated(self, simulated):
+        _, result = simulated
+        for outcome in result.outcomes:
+            if outcome.certified:
+                assert len(outcome.simulation) == 1
+                assert outcome.simulation[0]["digest"]
+            else:
+                assert outcome.simulation == ()
+
+    def test_digests_bit_identical_across_reruns(self, simulated):
+        spec, result = simulated
+        again = run_synthesis(spec)
+        digests = lambda r: {  # noqa: E731
+            o.name: [p["digest"] for p in o.simulation] for o in r.outcomes
+        }
+        assert digests(again) == digests(result)
+
+    def test_digests_bit_identical_through_warm_executor(self, simulated):
+        spec, result = simulated
+        with SweepExecutor(jobs=2) as executor:
+            warm = run_synthesis(spec, executor=executor)
+        assert warm.to_payload() == result.to_payload()
+
+    def test_ranking_prefers_sustainable_throughput(self, simulated):
+        _, result = simulated
+        by_name = {o.name: o for o in result.outcomes}
+        throughputs = [
+            by_name[name].sustainable_throughput for name in result.ranked
+        ]
+        assert throughputs == sorted(throughputs, reverse=True)
+
+
+class TestCompilation:
+    def test_best_class_resolves_through_the_registry(self):
+        result = run_synthesis(QUICK)
+        best = result.best
+        assert best is not None
+        routing = make_routing(best.name, Mesh2D(4, 4))
+        assert isinstance(routing, TurnRestrictionRouting)
+        assert routing.name == best.name
+
+    def test_compile_candidate_matches_registry_resolution(self):
+        from repro.synth import classify_candidates, enumerate_candidates
+
+        topology = parse_topology(QUICK.topology)
+        candidates, _ = enumerate_candidates(2)
+        for cls in classify_candidates(candidates, 2):
+            compiled = compile_candidate(topology, cls.representative)
+            assert compiled.name == cls.name
+            assert isinstance(compiled, TurnRestrictionRouting)
+
+
+class TestErrorGates:
+    def test_torus_rejected(self):
+        with pytest.raises(ValueError, match="meshes and hypercubes"):
+            run_synthesis(SynthSpec(topology="torus:4x4"))
+
+    def test_hex_rejected(self):
+        with pytest.raises(ValueError, match="meshes and hypercubes"):
+            run_synthesis(SynthSpec(topology="hex:4x4"))

@@ -1,0 +1,98 @@
+"""SynthSpec: normalization, validation, round-trips, content hashing."""
+
+import json
+
+import pytest
+
+from repro.synth import (
+    SYNTH_SPEC_VERSION,
+    SynthSpec,
+    default_synth_config,
+    normalize_topology_spec,
+)
+
+
+class TestNormalization:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("mesh4x4", "mesh:4x4"),
+            ("mesh:4x4", "mesh:4x4"),
+            (" Mesh:4x4 ", "mesh:4x4"),
+            ("cube3", "cube:3"),
+            ("MESH16x16", "mesh:16x16"),
+        ],
+    )
+    def test_topology_shorthand(self, raw, expected):
+        assert normalize_topology_spec(raw) == expected
+        assert SynthSpec(topology=raw).topology == expected
+
+    def test_unknown_forms_pass_through(self):
+        # The parser, not the normalizer, owns rejecting these.
+        assert normalize_topology_spec("ring:8") == "ring:8"
+
+    def test_pattern_canonicalized(self):
+        assert SynthSpec(pattern="Bit_Reversal").pattern == "bit-reversal"
+
+    def test_loads_coerced_to_floats(self):
+        spec = SynthSpec(loads=(1, 2))
+        assert spec.loads == (1.0, 2.0)
+        assert all(isinstance(load, float) for load in spec.loads)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_max_candidates_positive(self, bad):
+        with pytest.raises(ValueError, match="max_candidates"):
+            SynthSpec(max_candidates=bad)
+
+    def test_max_candidates_none_and_one_ok(self):
+        assert SynthSpec(max_candidates=None).max_candidates is None
+        assert SynthSpec(max_candidates=1).max_candidates == 1
+
+    def test_score_radix_cap_floor(self):
+        with pytest.raises(ValueError, match="score_radix_cap"):
+            SynthSpec(score_radix_cap=1)
+
+    def test_loads_nonempty(self):
+        with pytest.raises(ValueError, match="loads"):
+            SynthSpec(loads=())
+
+
+class TestRoundTrip:
+    def test_to_from_dict_identity(self):
+        spec = SynthSpec(
+            topology="mesh4x4",
+            max_candidates=7,
+            simulate=True,
+            loads=(0.05, 0.15),
+            seed=3,
+        )
+        assert SynthSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_is_json_ready(self):
+        spec = SynthSpec()
+        rebuilt = SynthSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+
+    def test_default_config_windows(self):
+        config = default_synth_config()
+        assert config.warmup_cycles < 2000
+        assert SynthSpec().config == config
+
+
+class TestContentHash:
+    def test_stable_across_instances(self):
+        assert SynthSpec().content_hash() == SynthSpec().content_hash()
+
+    def test_hash_is_sha256_hex(self):
+        digest = SynthSpec().content_hash()
+        assert len(digest) == 64
+        int(digest, 16)
+
+    def test_differs_by_field(self):
+        assert SynthSpec().content_hash() != SynthSpec(seed=2).content_hash()
+
+    def test_canonical_json_carries_version(self):
+        payload = json.loads(SynthSpec().canonical_json())
+        assert payload["version"] == SYNTH_SPEC_VERSION

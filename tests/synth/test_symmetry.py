@@ -1,0 +1,70 @@
+"""Symmetry quotient: group sizes, orbit closure, canonical classes."""
+
+from repro.core.model import (
+    apply_symmetry,
+    signed_permutation_symmetries,
+)
+from repro.core.restrictions import west_first_restriction
+from repro.routing.synth_names import synth_name
+from repro.synth import classify_candidates, enumerate_candidates, orbit_of
+
+
+class TestGroup:
+    def test_group_order_is_2n_times_n_factorial(self):
+        assert len(signed_permutation_symmetries(2)) == 8
+        assert len(signed_permutation_symmetries(3)) == 48
+
+
+class TestOrbit:
+    def test_orbit_is_closed_under_the_group(self):
+        candidates, _ = enumerate_candidates(2)
+        orbit = orbit_of(candidates[0], 2)
+        for member in orbit:
+            for symmetry in signed_permutation_symmetries(2):
+                assert apply_symmetry(symmetry, member) in orbit
+
+    def test_orbit_divides_group_order(self):
+        candidates, _ = enumerate_candidates(2)
+        for candidate in candidates:
+            assert 8 % len(orbit_of(candidate, 2)) == 0
+
+
+class TestClasses:
+    def test_2d_census_has_four_classes_of_four(self):
+        candidates, _ = enumerate_candidates(2)
+        classes = classify_candidates(candidates, 2)
+        assert len(classes) == 4
+        assert all(cls.size == 4 for cls in classes)
+        assert all(cls.orbit_size == 4 for cls in classes)
+        assert sum(cls.size for cls in classes) == 16
+
+    def test_class_names_sorted_and_canonical(self):
+        candidates, _ = enumerate_candidates(2)
+        classes = classify_candidates(candidates, 2)
+        names = [cls.name for cls in classes]
+        assert names == sorted(names)
+        for cls in classes:
+            assert cls.name == min(cls.member_names())
+            assert cls.name == synth_name(2, cls.representative)
+
+    def test_classification_order_independent(self):
+        candidates, _ = enumerate_candidates(2)
+        forward = classify_candidates(candidates, 2)
+        backward = classify_candidates(list(reversed(candidates)), 2)
+        assert forward == backward
+
+    def test_contains_checks_full_orbit(self):
+        # Truncate the enumeration to a single candidate: its class must
+        # still recognize symmetric prohibition sets it never saw.
+        candidates, truncated = enumerate_candidates(2, max_candidates=1)
+        assert truncated
+        (cls,) = classify_candidates(candidates, 2)
+        for symmetry in signed_permutation_symmetries(2):
+            assert cls.contains(apply_symmetry(symmetry, cls.representative))
+
+    def test_west_first_found_in_exactly_one_class(self):
+        candidates, _ = enumerate_candidates(2)
+        classes = classify_candidates(candidates, 2)
+        prohibited = west_first_restriction().prohibited
+        hits = [cls for cls in classes if cls.contains(prohibited)]
+        assert len(hits) == 1

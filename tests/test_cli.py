@@ -78,6 +78,55 @@ class TestCommands:
             build_parser().parse_args([])
 
 
+class TestSynthCommand:
+    def test_census_and_artifacts(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "synth-report.json"
+        manifest_dir = tmp_path / "manifests"
+        code = main([
+            "synth", "--topology", "mesh4x4",
+            "--out", str(out_path), "--manifest-dir", str(manifest_dir),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "12 deadlock-free" in out
+        assert "west-first" in out
+        assert "north-last" in out
+        assert "negative-first" in out
+
+        report = json.loads(out_path.read_text())
+        assert report["schema_version"] == 1
+        assert report["tool"] == "synth"
+        assert report["spec_hash"]
+        assert report["census"]["deadlock_free"] == 12
+        assert report["census"]["deadlocked"] == 4
+        assert report["missing_rediscovery"] is None
+
+        manifests = sorted(manifest_dir.glob("synth-*.json"))
+        assert len(manifests) == 4
+        candidate = json.loads(manifests[0].read_text())
+        assert candidate["tool"] == "synth-candidate"
+        assert candidate["spec_hash"] == report["spec_hash"]
+
+    def test_truncated_run_does_not_fail_rediscovery_gate(self, capsys):
+        assert main(["synth", "--topology", "mesh:4x4",
+                     "--max-candidates", "2"]) == 0
+        assert "TRUNCATED" in capsys.readouterr().out
+
+    def test_unsupported_topology_is_a_usage_error(self, capsys):
+        assert main(["synth", "--topology", "torus:4x4"]) == 2
+        assert "meshes and hypercubes" in capsys.readouterr().err
+
+    def test_simulate_ranks_by_throughput(self, capsys):
+        code = main([
+            "synth", "--topology", "mesh:4x4", "--simulate",
+            "--loads", "0.05",
+        ])
+        assert code == 0
+        assert "thr=" in capsys.readouterr().out
+
+
 class TestNewTopologies:
     def test_hex_spec(self):
         from repro.topology import HexMesh

@@ -52,6 +52,54 @@ class TestRoutingAliases:
             make_routing("not-a-thing", mesh44)
 
 
+class TestSuggestions:
+    def test_typo_gets_a_suggestion(self, mesh44):
+        with pytest.raises(UnknownNameError) as excinfo:
+            make_routing("negative-frist", mesh44)
+        assert "did you mean" in str(excinfo.value)
+        assert "negative-first" in excinfo.value.suggestions
+
+    def test_suggestions_canonicalize_first(self, mesh44):
+        with pytest.raises(UnknownNameError) as excinfo:
+            make_routing("West_Frist", mesh44)
+        assert "west-first" in excinfo.value.suggestions
+
+    def test_no_close_match_no_hint(self, mesh44):
+        with pytest.raises(UnknownNameError) as excinfo:
+            make_routing("zzzzzz", mesh44)
+        assert "did you mean" not in str(excinfo.value)
+        assert excinfo.value.suggestions == []
+
+    def test_known_list_still_present(self, mesh44):
+        # The suggestion hint is additive: the full known-name list and
+        # the legacy message prefix both survive.
+        with pytest.raises(
+            UnknownNameError, match="unknown routing algorithm"
+        ) as excinfo:
+            make_routing("negative-frist", mesh44)
+        assert "xy" in str(excinfo.value)
+
+
+class TestSynthesizedNames:
+    def test_synth_name_resolves_without_registration(self, mesh44):
+        routing = make_routing("synth2-nw.sw", mesh44)
+        assert routing.name == "synth2-nw.sw"
+
+    def test_synth_name_canonicalizes(self, mesh44):
+        assert make_routing(" SYNTH2-NW.SW ", mesh44).name == "synth2-nw.sw"
+
+    def test_nonminimal_synth_name(self, mesh44):
+        routing = make_routing("synth2-nw.sw-nonminimal", mesh44)
+        assert routing.name == "synth2-nw.sw-nonminimal"
+
+    def test_dimension_mismatch_is_a_precise_error(self, mesh44):
+        # A grammar-valid synth name with the wrong dimensionality must
+        # not masquerade as an unknown-name error.
+        with pytest.raises(ValueError, match="dimension") as excinfo:
+            make_routing("synth3-p0n1.p0n2.p1n0.p1n2.p2n0.p2n1", mesh44)
+        assert not isinstance(excinfo.value, UnknownNameError)
+
+
 class TestPatternAliases:
     @pytest.mark.parametrize(
         "alias", ["reverse_flip", "Reverse-Flip", " reverse-flip "]

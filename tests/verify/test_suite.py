@@ -92,6 +92,66 @@ class TestCertify:
         assert report.as_expected
 
 
+class TestVerifyBatch:
+    def test_batch_reports_refutations_without_raising(self, mesh44):
+        from repro.verify import PROOF_CHECKERS, verify_batch
+
+        targets = [
+            VerifyTarget(
+                label="mesh:4x4/west-first",
+                topology_label="mesh:4x4",
+                topology=mesh44,
+                routing=make_routing("west-first", mesh44),
+            ),
+            VerifyTarget(
+                label="mesh:4x4/unrestricted",
+                topology_label="mesh:4x4",
+                topology=mesh44,
+                routing=unrestricted_adaptive_routing(mesh44),
+            ),
+        ]
+        report = verify_batch(targets, PROOF_CHECKERS)
+        assert len(report.targets) == 2
+        assert report.targets[0].certified
+        assert not report.targets[1].certified
+
+    def test_batch_preserves_input_order(self, mesh44):
+        from repro.verify import PROOF_CHECKERS, verify_batch
+
+        names = ["north-last", "west-first", "negative-first"]
+        targets = [
+            VerifyTarget(
+                label=f"mesh:4x4/{name}",
+                topology_label="mesh:4x4",
+                topology=mesh44,
+                routing=make_routing(name, mesh44),
+            )
+            for name in names
+        ]
+        report = verify_batch(targets, PROOF_CHECKERS)
+        assert [t.target for t in report.targets] == [t.label for t in targets]
+
+    def test_proof_checkers_run_exactly_three_checks(self, mesh44):
+        from repro.verify import PROOF_CHECKERS, verify_batch
+
+        (target,) = verify_batch(
+            [
+                VerifyTarget(
+                    label="mesh:4x4/west-first",
+                    topology_label="mesh:4x4",
+                    topology=mesh44,
+                    routing=make_routing("west-first", mesh44),
+                )
+            ],
+            PROOF_CHECKERS,
+        ).targets
+        assert [check.check for check in target.checks] == [
+            "deadlock-freedom",
+            "connectivity",
+            "livelock-freedom",
+        ]
+
+
 class TestExecutorGate:
     def test_gate_certifies_and_memoizes(self):
         from repro.analysis.executor import ExperimentSpec, PointSpec, SweepExecutor
