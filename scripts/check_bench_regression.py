@@ -21,6 +21,18 @@ Usage::
         --baseline BENCH_sweep.json --current /tmp/bench-sweep-current.json \\
         --metric points_per_sec --scenario mesh16-grid
 
+Several baseline/current/metric/scenario groups can be guarded in one
+invocation with repeatable ``--check`` specs — e.g. both bench families
+at once::
+
+    python scripts/check_bench_regression.py \\
+        --check 'BENCH_engine.json:/tmp/eng.json:cycles_per_sec:mesh16-west-first-sat,mesh16-west-first-sat-flat' \\
+        --check 'BENCH_sweep.json:/tmp/sweep.json:points_per_sec:mesh16-grid'
+
+Each spec is ``baseline:current:metric:scenario[,scenario...]``; the
+exit code is the worst across all checks (so one >threshold regression
+of either payload fails the invocation).
+
 Non-guarded scenarios are reported for context but never fail the
 check; wall-clock noise on shared CI runners is real, which is why the
 guard watches a small set of scenarios with a generous threshold
@@ -122,6 +134,36 @@ def compare(
     return 0
 
 
+def parse_check(spec: str) -> tuple:
+    """Parse one ``baseline:current:metric:scen[,scen...]`` spec."""
+    parts = spec.split(":")
+    if len(parts) != 4:
+        raise ValueError(
+            f"bad --check spec {spec!r}: expected "
+            "baseline:current:metric:scenario[,scenario...]"
+        )
+    baseline, current, metric, scenarios = parts
+    if metric not in COUNT_KEYS:
+        raise ValueError(
+            f"bad --check spec {spec!r}: unknown metric {metric!r} "
+            f"(known: {', '.join(sorted(COUNT_KEYS))})"
+        )
+    guarded = tuple(s for s in scenarios.split(",") if s)
+    if not guarded:
+        raise ValueError(f"bad --check spec {spec!r}: no scenarios")
+    return baseline, current, metric, guarded
+
+
+def run_check(baseline_path: str, current_path: str, metric: str,
+              guarded: tuple, threshold: float) -> int:
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    with open(current_path) as fh:
+        current = json.load(fh)
+    print(f"== {baseline_path} vs {current_path} ({metric}) ==")
+    return compare(baseline, current, guarded, threshold, metric=metric)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -130,7 +172,7 @@ def main(argv=None) -> int:
         help="committed baseline payload",
     )
     parser.add_argument(
-        "--current", required=True, help="freshly produced bench payload"
+        "--current", default=None, help="freshly produced bench payload"
     )
     parser.add_argument(
         "--scenario",
@@ -150,7 +192,33 @@ def main(argv=None) -> int:
         choices=sorted(COUNT_KEYS),
         help="scenario rate metric to guard",
     )
+    parser.add_argument(
+        "--check",
+        action="append",
+        default=None,
+        metavar="BASE:CURRENT:METRIC:SCEN[,SCEN...]",
+        help="guard one baseline/current/metric/scenario group; "
+        "repeatable, exit code is the worst across groups "
+        "(mutually exclusive with --current)",
+    )
     args = parser.parse_args(argv)
+    if args.check:
+        if args.current is not None:
+            parser.error("--check and --current are mutually exclusive")
+        try:
+            checks = [parse_check(spec) for spec in args.check]
+        except ValueError as exc:
+            parser.error(str(exc))
+        worst = 0
+        for baseline_path, current_path, metric, guarded in checks:
+            code = run_check(
+                baseline_path, current_path, metric, guarded, args.threshold
+            )
+            worst = max(worst, code)
+            print()
+        return worst
+    if args.current is None:
+        parser.error("one of --current or --check is required")
     with open(args.baseline) as fh:
         baseline = json.load(fh)
     with open(args.current) as fh:

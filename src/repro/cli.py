@@ -123,6 +123,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config=config,
         seed=args.seed,
         obs=collector,
+        core=args.core,
     )
     print(result.summary())
     print(f"  avg hops:        {result.avg_hops:.2f}")
@@ -459,7 +460,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
         payload = run_bench(
             args.scenario, quick=args.quick, repeat=args.repeat,
-            progress=progress,
+            progress=progress, core=args.core, profile=args.profile,
         )
         render, tool = render_report, "bench"
         out = args.out if args.out is not None else "BENCH_engine.json"
@@ -654,6 +655,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs",
         action="store_true",
         help="print channel-utilization heatmap and throughput timeline",
+    )
+    p_sim.add_argument(
+        "--core",
+        choices=("object", "flat"),
+        default="object",
+        help="engine core: reference object core, or the bit-identical "
+        "compiled flat core (falls back to object when --obs is set)",
     )
     p_sim.set_defaults(func=_cmd_simulate)
 
@@ -890,6 +898,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="warm-pool worker processes (sweep bench only; default: "
         "one per CPU)",
+    )
+    p_bench.add_argument(
+        "--core", choices=("object", "flat"), default=None,
+        help="restrict engine-bench scenarios to one core (default: both)",
+    )
+    p_bench.add_argument(
+        "--profile", action="store_true",
+        help="attach the top-25 cumulative cProfile functions per "
+        "scenario to the bench artifact (engine bench only)",
     )
     p_bench.add_argument(
         "--baseline", default=None,

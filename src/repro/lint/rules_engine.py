@@ -65,7 +65,7 @@ def _is_none_test(test: ast.expr, name: str) -> bool:
 
 
 class GuardedHooksRule(Rule):
-    """Hook access in ``sim/engine.py`` must sit under an is-not-None guard.
+    """Hook access in the engine cores must sit under an is-not-None guard.
 
     Tracks the simulator's optional hook slots (``self._obs``,
     ``self._resilience``), locals assigned from them, and parameters
@@ -81,15 +81,20 @@ class GuardedHooksRule(Rule):
 
     id = "guarded-hooks"
     summary = (
-        "every _obs/fault-controller hook access in sim/engine.py must "
-        "be under an 'is not None' guard (cheap-optional-hook contract)"
+        "every _obs/fault-controller hook access in the engine cores "
+        "(sim/engine.py, sim/flatcore.py) must be under an "
+        "'is not None' guard (cheap-optional-hook contract)"
     )
     packages = ("sim",)
+
+    #: Modules implementing an engine hot loop; both cores carry the
+    #: same cheap-optional-hook contract.
+    filenames = ("engine.py", "flatcore.py")
 
     def check_module(
         self, module: ModuleContext, project: Project
     ) -> Iterator[Finding]:
-        if module.filename != "engine.py":
+        if module.filename not in self.filenames:
             return
         path = display_path(module.path)
         parents = parent_map(module.tree)
@@ -227,7 +232,7 @@ class WorkerPurityRule(Rule):
         "functions dispatched through the process pool must not use "
         "'global' or mutate their (shared/pickled) arguments"
     )
-    packages = ("analysis",)
+    packages = ("analysis", "sim")
 
     def check_module(
         self, module: ModuleContext, project: Project

@@ -52,11 +52,23 @@ class RouteCache:
             degraded relation no longer matches the shared table.
 
     Attributes:
-        hits, misses: lookup counters, reported by ``repro bench``.
+        hits: lookups answered from this cache's own table (excluding
+            the first fetch of a prewarmed entry).
+        misses: lookups that had to call ``routing.route`` (here or
+            anywhere down the source chain).
+        prefilled: lookups answered by prewarmed state without any
+            route computation — the first fetch of an entry installed
+            via :meth:`prefill`, or a source-chain answer the source
+            already held.  Reported by ``repro bench`` so warm runs
+            show their true no-recompute rate instead of inflated
+            ``misses``.
+        prefilled_entries: total entries ever installed via
+            :meth:`prefill` (regardless of whether they were fetched).
     """
 
     __slots__ = ("routing", "_resolve", "_table", "_keyed_on_in_channel",
-                 "_source", "hits", "misses")
+                 "_source", "hits", "misses", "prefilled",
+                 "prefilled_entries", "_prefilled_pending")
 
     def __init__(
         self,
@@ -95,6 +107,12 @@ class RouteCache:
         self._source = source
         self.hits = 0
         self.misses = 0
+        self.prefilled = 0
+        self.prefilled_entries = 0
+        # Keys installed by prefill() and not yet fetched: their first
+        # lookup counts as ``prefilled`` (the route was never computed
+        # here), later lookups as plain ``hits``.
+        self._prefilled_pending: set = set()
 
     def candidates(
         self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
@@ -112,21 +130,73 @@ class RouteCache:
         table = self._table
         cached = table.get(key)
         if cached is not None:
-            self.hits += 1
+            pending = self._prefilled_pending
+            if pending and key in pending:
+                pending.discard(key)
+                self.prefilled += 1
+            else:
+                self.hits += 1
             return cached
         source = self._source
         if source is not None:
-            channels = source.candidates(in_channel, node, dest)
+            channels, warm = source.lookup(in_channel, node, dest)
         else:
             channels = tuple(self.routing.route(in_channel, node, dest))
+            warm = False
         resolve = self._resolve
         if resolve is not None:
             resolved = tuple(resolve(channel) for channel in channels)
         else:
             resolved = channels
         table[key] = resolved
-        self.misses += 1
+        if warm:
+            self.prefilled += 1
+        else:
+            self.misses += 1
         return resolved
+
+    def lookup(
+        self, in_channel: Optional[Channel], node: NodeId, dest: NodeId
+    ) -> Tuple[tuple, bool]:
+        """Like :meth:`candidates`, plus whether the answer was warm.
+
+        Returns ``(candidates, warm)`` where ``warm`` is True when the
+        answer came from already-memoized or prewarmed state anywhere
+        in the chain — i.e. no ``routing.route`` call happened.  This
+        is the chaining primitive consumers use to account a downstream
+        fill as ``prefilled`` rather than a ``miss``.
+        """
+        if self._keyed_on_in_channel:
+            key = (in_channel, node, dest)
+        else:
+            key = (node, dest)
+        table = self._table
+        cached = table.get(key)
+        if cached is not None:
+            pending = self._prefilled_pending
+            if pending and key in pending:
+                pending.discard(key)
+                self.prefilled += 1
+            else:
+                self.hits += 1
+            return cached, True
+        source = self._source
+        if source is not None:
+            channels, warm = source.lookup(in_channel, node, dest)
+        else:
+            channels = tuple(self.routing.route(in_channel, node, dest))
+            warm = False
+        resolve = self._resolve
+        if resolve is not None:
+            resolved = tuple(resolve(channel) for channel in channels)
+        else:
+            resolved = channels
+        table[key] = resolved
+        if warm:
+            self.prefilled += 1
+        else:
+            self.misses += 1
+        return resolved, warm
 
     def __len__(self) -> int:
         return len(self._table)
@@ -134,6 +204,7 @@ class RouteCache:
     def clear(self) -> None:
         """Drop all memoized routes (counters are kept)."""
         self._table.clear()
+        self._prefilled_pending.clear()
 
     def prefill(self, table: Dict[tuple, tuple]) -> None:
         """Install precomputed raw entries (counters untouched).
@@ -147,9 +218,12 @@ class RouteCache:
             raise ValueError(
                 "cannot prefill a resolving cache with raw channel tuples"
             )
+        added = [key for key in table if key not in self._table]
         merged = dict(table)
         merged.update(self._table)
         self._table = merged
+        self.prefilled_entries += len(added)
+        self._prefilled_pending.update(added)
 
     def export_table(self) -> Dict[tuple, tuple]:
         """A snapshot of the memoized entries (raw caches only)."""
@@ -202,18 +276,22 @@ class RouteCache:
         # key is (in_channel, node, dest) or (node, dest); the node is
         # always the second-to-last component.
         stale = [key for key in table if key[-2] in nodes]
+        pending = self._prefilled_pending
         for key in stale:
             del table[key]
+            pending.discard(key)
         return len(stale)
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups answered from the cache (0.0 when unused)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of lookups answered without computing a route
+        (own-table hits plus prewarmed answers; 0.0 when unused)."""
+        total = self.hits + self.prefilled + self.misses
+        return (self.hits + self.prefilled) / total if total else 0.0
 
     def __repr__(self) -> str:
         return (
             f"RouteCache({self.routing.name}, entries={len(self._table)}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={self.hits}, misses={self.misses}, "
+            f"prefilled={self.prefilled})"
         )

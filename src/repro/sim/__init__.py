@@ -2,6 +2,11 @@
 
 from repro.sim.config import FLITS_PER_USEC, SimulationConfig
 from repro.sim.engine import RoutingError, WormholeSimulator
+from repro.sim.flatcore import (
+    FlatCoreUnsupported,
+    FlatWormholeSimulator,
+    make_simulator,
+)
 from repro.sim.packet import Packet
 from repro.sim.resources import EJECTION, INJECTION, NETWORK, ChannelState
 from repro.sim.simulator import simulate
@@ -13,6 +18,9 @@ __all__ = [
     "FLITS_PER_USEC",
     "WormholeSimulator",
     "RoutingError",
+    "FlatWormholeSimulator",
+    "FlatCoreUnsupported",
+    "make_simulator",
     "Packet",
     "ChannelState",
     "NETWORK",

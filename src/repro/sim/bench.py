@@ -61,11 +61,17 @@ class BenchScenario:
         name: stable identifier (keys ``BENCH_engine.json``).
         description: one-line summary for the report.
         build: ``build(config) -> WormholeSimulator``.
+        core: which engine core the scenario exercises (``object`` or
+            ``flat``); flat scenarios share their object twin's seed and
+            workload, so ``run_bench`` cross-checks their digests.
+        twin: the same-workload scenario on the other core, if any.
     """
 
     name: str
     description: str
     build: Callable[[SimulationConfig], WormholeSimulator]
+    core: str = "object"
+    twin: Optional[str] = None
 
 
 def _simulator(topology, routing_name: str, load: float,
@@ -80,6 +86,26 @@ def _simulator(topology, routing_name: str, load: float,
     return WormholeSimulator(routing, workload, config)
 
 
+def _flat_simulator(topology, routing_name: str, load: float,
+                    config: SimulationConfig, seed: int):
+    # Construction — compiling the topology and the full prewarmed
+    # route table into the flat arrays — is deliberately outside the
+    # timed region, like a warm sweep's shared precomputation.
+    from repro.analysis.prewarm import build_route_table, serialize_route_table
+    from repro.sim.flatcore import make_simulator
+
+    routing = make_routing(routing_name, topology)
+    workload = Workload(
+        pattern=make_pattern("uniform", topology),
+        sizes=SizeDistribution(_BENCH_SIZES),
+        offered_load=load,
+        seed=seed,
+    )
+    table = serialize_route_table(topology, build_route_table(routing))
+    return make_simulator(routing, workload, config, core="flat",
+                          route_table=table)
+
+
 BENCH_SCENARIOS: Dict[str, BenchScenario] = {
     scenario.name: scenario
     for scenario in (
@@ -88,24 +114,60 @@ BENCH_SCENARIOS: Dict[str, BenchScenario] = {
             "16x16 mesh, west-first, uniform, load 0.05",
             lambda config: _simulator(Mesh2D(16, 16), "west-first",
                                       _LOW_LOAD, config, seed=101),
+            twin="mesh16-west-first-low-flat",
         ),
         BenchScenario(
             "mesh16-west-first-sat",
             "16x16 mesh, west-first, uniform, load 0.45 (saturation)",
             lambda config: _simulator(Mesh2D(16, 16), "west-first",
                                       _SAT_LOAD, config, seed=102),
+            twin="mesh16-west-first-sat-flat",
         ),
         BenchScenario(
             "cube8-ecube-low",
             "binary 8-cube, e-cube, uniform, load 0.05",
             lambda config: _simulator(Hypercube(8), "e-cube",
                                       _LOW_LOAD, config, seed=103),
+            twin="cube8-ecube-low-flat",
         ),
         BenchScenario(
             "cube8-pcube-sat",
             "binary 8-cube, p-cube, uniform, load 0.45 (saturation)",
             lambda config: _simulator(Hypercube(8), "p-cube",
                                       _SAT_LOAD, config, seed=104),
+            twin="cube8-pcube-sat-flat",
+        ),
+        BenchScenario(
+            "mesh16-west-first-low-flat",
+            "16x16 mesh, west-first, uniform, load 0.05 (flat core)",
+            lambda config: _flat_simulator(Mesh2D(16, 16), "west-first",
+                                           _LOW_LOAD, config, seed=101),
+            core="flat",
+            twin="mesh16-west-first-low",
+        ),
+        BenchScenario(
+            "mesh16-west-first-sat-flat",
+            "16x16 mesh, west-first, uniform, load 0.45 (flat core)",
+            lambda config: _flat_simulator(Mesh2D(16, 16), "west-first",
+                                           _SAT_LOAD, config, seed=102),
+            core="flat",
+            twin="mesh16-west-first-sat",
+        ),
+        BenchScenario(
+            "cube8-ecube-low-flat",
+            "binary 8-cube, e-cube, uniform, load 0.05 (flat core)",
+            lambda config: _flat_simulator(Hypercube(8), "e-cube",
+                                           _LOW_LOAD, config, seed=103),
+            core="flat",
+            twin="cube8-ecube-low",
+        ),
+        BenchScenario(
+            "cube8-pcube-sat-flat",
+            "binary 8-cube, p-cube, uniform, load 0.45 (flat core)",
+            lambda config: _flat_simulator(Hypercube(8), "p-cube",
+                                           _SAT_LOAD, config, seed=104),
+            core="flat",
+            twin="cube8-pcube-sat",
         ),
     )
 }
@@ -119,8 +181,35 @@ def _bench_config(quick: bool) -> SimulationConfig:
                             drain_cycles=400)
 
 
+def _profile_one(scenario: BenchScenario, config: SimulationConfig,
+                 top: int = 25) -> List[dict]:
+    """One extra (untimed) run under cProfile; top functions by cumtime."""
+    import cProfile
+    import pstats
+
+    sim = scenario.build(config)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    sim.run()
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    rows = []
+    for func, (cc, nc, tottime, cumtime, _callers) in stats.stats.items():
+        filename, line, name = func
+        rows.append({
+            "function": name,
+            "file": filename,
+            "line": line,
+            "ncalls": nc,
+            "tottime": round(tottime, 6),
+            "cumtime": round(cumtime, 6),
+        })
+    rows.sort(key=lambda r: (-r["cumtime"], r["file"], r["line"]))
+    return rows[:top]
+
+
 def _run_one(scenario: BenchScenario, config: SimulationConfig,
-             repeat: int) -> dict:
+             repeat: int, profile: bool = False) -> dict:
     best: Optional[dict] = None
     for _ in range(max(1, repeat)):
         sim = scenario.build(config)
@@ -130,6 +219,7 @@ def _run_one(scenario: BenchScenario, config: SimulationConfig,
         cycles = sim.cycle + 1
         record = {
             "description": scenario.description,
+            "core": sim.core,
             "wall_seconds": wall,
             "cycles_simulated": cycles,
             "cycles_executed": sim.cycles_executed,
@@ -146,22 +236,37 @@ def _run_one(scenario: BenchScenario, config: SimulationConfig,
                 "entries": len(cache),
                 "hits": cache.hits,
                 "misses": cache.misses,
+                "prefilled": cache.prefilled,
+                "prefilled_entries": cache.prefilled_entries,
                 "hit_rate": round(cache.hit_rate, 6),
             }
         if best is None or record["wall_seconds"] < best["wall_seconds"]:
             best = record
     assert best is not None
+    if profile:
+        best["profile"] = _profile_one(scenario, config)
     return best
 
 
 def run_bench(names: Optional[Iterable[str]] = None, quick: bool = False,
               repeat: int = 1,
-              progress: Optional[Callable[[str], None]] = None) -> dict:
+              progress: Optional[Callable[[str], None]] = None,
+              core: Optional[str] = None, profile: bool = False) -> dict:
     """Run the named scenarios (default: all) and return the payload.
 
     The payload maps each scenario name to its measurements plus a
     ``meta`` block (mode, interpreter, platform); it serializes directly
     to ``BENCH_engine.json``.
+
+    Args:
+        core: restrict to scenarios of one engine core (``object`` or
+            ``flat``); default runs both.
+        profile: attach the top-25 cumulative-time functions (one extra
+            untimed cProfile run per scenario) to each record.
+
+    When a scenario and its other-core twin both ran, their result
+    digests are cross-checked; a mismatch raises — a flat-core run that
+    is not bit-identical must never produce a silent benchmark number.
     """
     selected: List[BenchScenario] = []
     for name in (names or BENCH_SCENARIOS):
@@ -170,6 +275,8 @@ def run_bench(names: Optional[Iterable[str]] = None, quick: bool = False,
         except KeyError:
             known = ", ".join(sorted(BENCH_SCENARIOS))
             raise KeyError(f"unknown bench scenario {name!r}; known: {known}")
+    if core is not None:
+        selected = [s for s in selected if s.core == core]
     config = _bench_config(quick)
     payload: dict = {
         "meta": {
@@ -184,7 +291,22 @@ def run_bench(names: Optional[Iterable[str]] = None, quick: bool = False,
     for scenario in selected:
         if progress is not None:
             progress(f"bench {scenario.name} ({scenario.description}) ...")
-        payload["scenarios"][scenario.name] = _run_one(scenario, config, repeat)
+        payload["scenarios"][scenario.name] = _run_one(
+            scenario, config, repeat, profile=profile
+        )
+    scenarios = payload["scenarios"]
+    for scenario in selected:
+        twin = scenario.twin
+        if twin is None or twin not in scenarios:
+            continue
+        mine = scenarios[scenario.name]["result_digest"]
+        theirs = scenarios[twin]["result_digest"]
+        if mine != theirs:
+            raise RuntimeError(
+                f"core digest mismatch: {scenario.name} produced {mine} "
+                f"but {twin} produced {theirs} — the flat core is not "
+                "bit-identical on this workload"
+            )
     return payload
 
 
@@ -207,7 +329,7 @@ def render_report(payload: dict) -> str:
         f"engine bench ({payload['meta']['mode']}, "
         f"{payload['meta']['total_cycles']} cycles/scenario, "
         f"python {payload['meta']['python']})",
-        f"{'scenario':26s} {'cycles/s':>10s} {'fmoves/s':>11s} "
+        f"{'scenario':31s} {'core':>6s} {'cycles/s':>10s} {'fmoves/s':>11s} "
         f"{'executed':>9s} {'cache hit':>9s} {'delivered':>9s}",
     ]
     for name, r in payload["scenarios"].items():
@@ -215,7 +337,8 @@ def render_report(payload: dict) -> str:
         cache = r.get("route_cache")
         hit = f"{cache['hit_rate']:.1%}" if cache else "-"
         line = (
-            f"{name:26s} {r['cycles_per_sec']:10.0f} "
+            f"{name:31s} {r.get('core', 'object'):>6s} "
+            f"{r['cycles_per_sec']:10.0f} "
             f"{r['flit_moves_per_sec']:11.0f} {executed:>9s} "
             f"{hit:>9s} {r['packets_delivered']:9d}"
         )
@@ -237,6 +360,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="subset of scenarios to run")
     parser.add_argument("--repeat", type=int, default=1,
                         help="repetitions per scenario (best wall time wins)")
+    parser.add_argument("--core", choices=("object", "flat"), default=None,
+                        help="restrict to one engine core (default: both)")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach top-25 cProfile functions per scenario")
     parser.add_argument("--baseline", default=None,
                         help="previous BENCH_engine.json to compute speedups")
     parser.add_argument("--out", default="BENCH_engine.json",
@@ -244,7 +371,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     payload = run_bench(args.scenario, quick=args.quick, repeat=args.repeat,
-                        progress=lambda msg: print(msg, file=sys.stderr))
+                        progress=lambda msg: print(msg, file=sys.stderr),
+                        core=args.core, profile=args.profile)
     if args.baseline:
         with open(args.baseline) as fh:
             apply_baseline(payload, json.load(fh))

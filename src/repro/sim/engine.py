@@ -94,6 +94,10 @@ def _merge_waiters(a: List[Packet], b: List[Packet]) -> List[Packet]:
 class WormholeSimulator:
     """Simulates one workload on one topology with one routing algorithm."""
 
+    #: Which engine core this class implements ("object" is the
+    #: reference implementation; see :mod:`repro.sim.flatcore`).
+    core = "object"
+
     def __init__(
         self,
         routing: RoutingAlgorithm,

@@ -38,6 +38,7 @@ def simulate(
     seed: int = 1,
     obs: Optional["MetricsCollector"] = None,
     route_source: Optional[RouteCache] = None,
+    core: str = "object",
 ) -> SimulationResult:
     """Simulate one (routing, pattern, load) point and return its result.
 
@@ -59,6 +60,11 @@ def simulate(
         route_source: optional shared raw route cache for the same
             algorithm (:mod:`repro.analysis.prewarm`); bit-invisible to
             the result, it only skips recomputing known routes.
+        core: engine core — ``"object"`` (reference) or ``"flat"``
+            (compiled integer-indexed hot path, bit-identical; see
+            :mod:`repro.sim.flatcore`).  ``"flat"`` falls back to the
+            object core when an unsupported feature (an obs collector)
+            is requested.
 
     Returns:
         The run's :class:`SimulationResult`.
@@ -70,7 +76,15 @@ def simulate(
     workload = Workload(
         pattern=pattern, sizes=sizes, offered_load=offered_load, seed=seed
     )
-    simulator = WormholeSimulator(
-        routing, workload, config, obs=obs, route_source=route_source
-    )
+    if core == "object":
+        simulator: WormholeSimulator = WormholeSimulator(
+            routing, workload, config, obs=obs, route_source=route_source
+        )
+    else:
+        from repro.sim.flatcore import make_simulator
+
+        simulator = make_simulator(
+            routing, workload, config, core=core, obs=obs,
+            route_source=route_source,
+        )
     return simulator.run()

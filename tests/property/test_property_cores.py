@@ -1,0 +1,112 @@
+"""Property-based bit-identity: movers and engine cores must agree.
+
+Two equivalences the golden digests pin for fixed scenarios, checked
+here across randomized small-mesh configurations, seeds, and loads:
+
+* the generic :meth:`WormholeSimulator._move` and the capacity-1
+  specialized ``_move1`` produce bit-identical runs whenever both are
+  valid (single lane, ``buffer_depth == 1``);
+* the flat integer-indexed core (:mod:`repro.sim.flatcore`) produces
+  bit-identical runs to the object core, for both its bit-parallel
+  ``_move1`` regime and its generic list mover (deeper buffers).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import make_routing
+from repro.sim import SimulationConfig, WormholeSimulator
+from repro.sim.digest import run_digest
+from repro.sim.flatcore import FlatWormholeSimulator
+from repro.sim.trace import TraceRecorder
+from repro.topology import Mesh2D
+from repro.traffic import UniformTraffic, Workload
+from repro.traffic.workload import SizeDistribution
+
+ALGORITHMS = ["xy", "west-first", "north-last", "negative-first"]
+
+configs = st.fixed_dictionaries({
+    "rows": st.integers(3, 5),
+    "cols": st.integers(3, 5),
+    "name": st.sampled_from(ALGORITHMS),
+    "load": st.sampled_from([0.05, 0.15, 0.35, 0.6]),
+    "seed": st.integers(0, 2**20),
+})
+
+
+def _build(params, simulator_cls, force_generic_move=False, buffer_depth=1):
+    mesh = Mesh2D(params["rows"], params["cols"])
+    routing = make_routing(params["name"], mesh)
+    workload = Workload(
+        pattern=UniformTraffic(mesh),
+        sizes=SizeDistribution(((2, 0.5), (9, 0.5))),
+        offered_load=params["load"],
+        seed=params["seed"],
+    )
+    config = SimulationConfig(
+        warmup_cycles=40,
+        measure_cycles=260,
+        drain_cycles=100,
+        buffer_depth=buffer_depth,
+        deadlock_threshold=1_000,
+    )
+    trace = TraceRecorder(max_events=100_000)
+    sim = simulator_cls(routing, workload, config, trace=trace)
+    if force_generic_move:
+        # run() picks _move1 for single-lane capacity-1 configs; rebind
+        # the specialized mover to the generic one so this run exercises
+        # _move on a workload where both are valid.  The flat core's
+        # generic mover works on occupancy lists, so its bitmask regime
+        # must be switched off with it.
+        sim._move1 = sim._move
+        if isinstance(sim, FlatWormholeSimulator):
+            sim._bitocc = False
+    return sim, trace
+
+
+def _run_digest(params, simulator_cls, **kwargs):
+    sim, trace = _build(params, simulator_cls, **kwargs)
+    result = sim.run()
+    return run_digest(result, trace), result
+
+
+class TestMoverEquivalence:
+    @given(params=configs)
+    @settings(max_examples=25, deadline=None)
+    def test_generic_move_matches_move1(self, params):
+        fast, fast_result = _run_digest(params, WormholeSimulator)
+        slow, slow_result = _run_digest(
+            params, WormholeSimulator, force_generic_move=True
+        )
+        assert fast == slow
+        assert fast_result.total_delivered == slow_result.total_delivered
+
+
+class TestCoreEquivalence:
+    @given(params=configs)
+    @settings(max_examples=25, deadline=None)
+    def test_flat_core_matches_object_core(self, params):
+        obj, obj_result = _run_digest(params, WormholeSimulator)
+        flat, flat_result = _run_digest(params, FlatWormholeSimulator)
+        assert obj == flat
+        assert obj_result.total_delivered == flat_result.total_delivered
+
+    @given(params=configs, depth=st.integers(2, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_flat_generic_mover_matches_object(self, params, depth):
+        # buffer_depth > 1 routes both cores through their generic
+        # movers (occupancy lists, not bitmasks).
+        obj, _ = _run_digest(params, WormholeSimulator, buffer_depth=depth)
+        flat, _ = _run_digest(
+            params, FlatWormholeSimulator, buffer_depth=depth
+        )
+        assert obj == flat
+
+    @given(params=configs)
+    @settings(max_examples=10, deadline=None)
+    def test_flat_bit_mover_matches_flat_generic(self, params):
+        fast, _ = _run_digest(params, FlatWormholeSimulator)
+        slow, _ = _run_digest(
+            params, FlatWormholeSimulator, force_generic_move=True
+        )
+        assert fast == slow

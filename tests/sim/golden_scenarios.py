@@ -35,7 +35,8 @@ __all__ = ["GOLDEN_SCENARIOS", "build_scenario"]
 
 def _open_sim(topology, routing_name, pattern_name, load, seed, *,
               routing=None, sizes=None, warmup=200, measure=1200, drain=400,
-              deadlock_threshold=2_000, **engine_kwargs):
+              deadlock_threshold=2_000, simulator_cls=WormholeSimulator,
+              **engine_kwargs):
     if routing is None:
         routing = make_routing(routing_name, topology)
     pattern = make_pattern(pattern_name, topology)
@@ -52,8 +53,8 @@ def _open_sim(topology, routing_name, pattern_name, load, seed, *,
         deadlock_threshold=deadlock_threshold,
     )
     trace = TraceRecorder(max_events=200_000)
-    sim = WormholeSimulator(routing, workload, config, trace=trace,
-                            **engine_kwargs)
+    sim = simulator_cls(routing, workload, config, trace=trace,
+                        **engine_kwargs)
     return sim, trace
 
 
@@ -118,8 +119,9 @@ def _closed_preload(**kw):
         ((2, 2), (3, 2), 1, 40.0),
     ]
     trace = TraceRecorder(max_events=200_000)
-    sim = WormholeSimulator(routing, workload, config, preload=preload,
-                            trace=trace, **kw)
+    simulator_cls = kw.pop("simulator_cls", WormholeSimulator)
+    sim = simulator_cls(routing, workload, config, preload=preload,
+                        trace=trace, **kw)
     return sim, trace
 
 
@@ -141,7 +143,8 @@ def _figure1_deadlock(**kw):
         deadlock_threshold=500,
     )
     trace = TraceRecorder(max_events=200_000)
-    sim = WormholeSimulator(routing, workload, config, trace=trace, **kw)
+    simulator_cls = kw.pop("simulator_cls", WormholeSimulator)
+    sim = simulator_cls(routing, workload, config, trace=trace, **kw)
     return sim, trace
 
 

@@ -1,0 +1,56 @@
+"""Flat-core bit-identity gate (CI): every golden scenario, both cores.
+
+The flat integer-indexed core (:mod:`repro.sim.flatcore`) must be a
+pure performance change: running any golden scenario on it reproduces
+the committed object-core digest byte for byte — results, trace event
+sequences, deadlock cycles, everything.  All 9 scenarios run flat here
+(including the virtual-channel and idle-fault-controller ones) against
+the same ``golden_digests.json`` fixture the object-core suite pins.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.digest import result_digest, run_digest, trace_digest
+from repro.sim.flatcore import FlatWormholeSimulator
+
+from tests.sim.golden_scenarios import GOLDEN_SCENARIOS, build_scenario
+
+FIXTURE = Path(__file__).parent / "golden_digests.json"
+
+
+@pytest.fixture(scope="module")
+def fixtures():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.fixture(scope="module")
+def flat_runs():
+    """Run every golden scenario on the flat core once; share outcomes."""
+    outcomes = {}
+    for name in GOLDEN_SCENARIOS:
+        sim, trace = build_scenario(name, simulator_cls=FlatWormholeSimulator)
+        assert sim.core == "flat"
+        result = sim.run()
+        outcomes[name] = (sim, trace, result)
+    return outcomes
+
+
+class TestFlatCoreGoldenIdentity:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+    def test_result_digest(self, name, fixtures, flat_runs):
+        _, _, result = flat_runs[name]
+        assert result_digest(result) == fixtures[name]["result"]
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+    def test_trace_digest(self, name, fixtures, flat_runs):
+        _, trace, _ = flat_runs[name]
+        assert len(trace.events) == fixtures[name]["trace_events"]
+        assert trace_digest(trace) == fixtures[name]["trace"]
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+    def test_joint_run_digest(self, name, fixtures, flat_runs):
+        _, trace, result = flat_runs[name]
+        assert run_digest(result, trace) == fixtures[name]["run"]
